@@ -1,0 +1,643 @@
+(* Benchmark harness: regenerates every table/figure-level claim of the
+   DATE'17 paper (experiments E1-E10, see DESIGN.md), then runs
+   Bechamel timing benches for the core synthesis kernels.
+
+   Usage: dune exec bench/main.exe            (everything)
+          dune exec bench/main.exe -- E4 E7   (selected experiments)   *)
+
+open Nxc_logic
+module Lt = Nxc_lattice
+module X = Nxc_crossbar
+module R = Nxc_reliability
+module C = Nxc_core
+
+let section id title =
+  Format.printf "@.=====================================================@.";
+  Format.printf "%s — %s@." id title;
+  Format.printf "=====================================================@.@."
+
+(* ------------------------------------------------------------------ *)
+(* E1: Fig. 3 — two-terminal array size formulas                       *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1" "two-terminal array sizes (Fig. 3 formulas)";
+  Format.printf "%-12s %3s %9s %9s %9s  %-9s %-9s@." "name" "n" "products"
+    "dualprod" "literals" "diode" "fet";
+  List.iter
+    (fun b ->
+      let f = b.Nxc_suite.func in
+      let cover = Minimize.sop f in
+      let dual = Minimize.dual_sop f in
+      let d = X.Diode.size_formula f in
+      let t = X.Fet.size_formula f in
+      (* the formulas must equal the built arrays *)
+      assert (X.Diode.dims (X.Diode.synthesize f) = d);
+      assert (X.Fet.dims (X.Fet.synthesize f) = t);
+      Format.printf "%-12s %3d %9d %9d %9d  %dx%-7d %dx%-7d@." b.Nxc_suite.name
+        (Boolfunc.n_vars f) (Cover.num_cubes cover) (Cover.num_cubes dual)
+        (List.length (Cover.distinct_literals cover))
+        d.X.Model.rows d.X.Model.cols t.X.Model.rows t.X.Model.cols)
+    (Nxc_suite.core ());
+  Format.printf
+    "@.paper check: xnor2 has 4 literals / 2 products -> diode 2x5, fet 4x4@."
+
+(* ------------------------------------------------------------------ *)
+(* E2: Fig. 5 — four-terminal lattice size formula + Fig. 4 example    *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "E2" "four-terminal lattice sizes (Fig. 5 formula, Fig. 4 example)";
+  Format.printf "%-12s %3s  %-9s %6s %9s@." "name" "n" "lattice" "area"
+    "verified";
+  List.iter
+    (fun b ->
+      let f = b.Nxc_suite.func in
+      let l = Lt.Altun_riedel.synthesize f in
+      let r, c = Lt.Altun_riedel.size_formula f in
+      assert (Lt.Lattice.rows l = r && Lt.Lattice.cols l = c);
+      Format.printf "%-12s %3d  %dx%-7d %6d %9b@." b.Nxc_suite.name
+        (Boolfunc.n_vars f) r c (r * c)
+        (Lt.Checker.equivalent l f))
+    (Nxc_suite.core ());
+  let fig4_f, fig4_l = Lt.Altun_riedel.paper_example () in
+  Format.printf "@.Fig. 4 published lattice is 3x2 and verified: %b@."
+    (Lt.Checker.equivalent fig4_l fig4_f);
+  Format.printf "left-to-right duality holds on every synthesized lattice: %b@."
+    (List.for_all
+       (fun b ->
+         match Boolfunc.is_const b.Nxc_suite.func with
+         | Some _ -> true
+         | None ->
+             Lt.Checker.computes_dual_lr
+               (Lt.Altun_riedel.synthesize b.Nxc_suite.func)
+               b.Nxc_suite.func)
+       (Nxc_suite.core ()))
+
+(* ------------------------------------------------------------------ *)
+(* E3: Section III headline — size comparison                          *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "E3" "technology size comparison (Section III claim)";
+  let rows =
+    List.map
+      (fun b -> C.Synth.sizes (C.Synth.synthesize b.Nxc_suite.func))
+      (Nxc_suite.core ())
+  in
+  print_endline (C.Report.size_table rows)
+
+(* ------------------------------------------------------------------ *)
+(* E4: P-circuit decomposition preprocessing                           *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  section "E4" "P-circuit decomposition preprocessing (Section III.B.1)";
+  Format.printf "%-12s %8s %8s %8s %8s %7s@." "name" "direct" "decomp"
+    "recur" "+trim" "gain";
+  let improved = ref 0 and total = ref 0 in
+  List.iter
+    (fun b ->
+      let f = b.Nxc_suite.func in
+      let direct = Lt.Lattice.area (Lt.Altun_riedel.synthesize f) in
+      let dec_lattice = Lt.Decompose_synth.synthesize f in
+      assert (Lt.Checker.equivalent dec_lattice f);
+      let dec = Lt.Lattice.area dec_lattice in
+      let rec_lattice = Lt.Decompose_synth.synthesize_recursive ~depth:2 f in
+      assert (Lt.Checker.equivalent rec_lattice f);
+      let best_dec =
+        if Lt.Lattice.area rec_lattice < dec then rec_lattice else dec_lattice
+      in
+      let trimmed = Lt.Trim.trim best_dec f in
+      assert (Lt.Checker.equivalent trimmed f);
+      let tri = Lt.Lattice.area trimmed in
+      incr total;
+      if tri < direct then incr improved;
+      Format.printf "%-12s %8d %8d %8d %8d %6.0f%%@." b.Nxc_suite.name direct
+        dec
+        (Lt.Lattice.area rec_lattice)
+        tri
+        (100.0 *. (1.0 -. (float_of_int tri /. float_of_int direct))))
+    (Nxc_suite.core ());
+  Format.printf
+    "@.decomposition (single or recursive) plus trimming reduced lattice \
+     area on %d/%d benchmarks@."
+    !improved !total
+
+(* ------------------------------------------------------------------ *)
+(* E5: D-reducible preprocessing                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  section "E5" "D-reducible function preprocessing (Section III.B.2)";
+  Format.printf "%-12s %6s %8s %8s %7s@." "name" "dim" "direct" "d-red" "gain";
+  List.iter
+    (fun b ->
+      let f = b.Nxc_suite.func in
+      match Affine.d_reduction f with
+      | None -> Format.printf "%-12s  not D-reducible@." b.Nxc_suite.name
+      | Some red ->
+          let direct = Lt.Lattice.area (Lt.Altun_riedel.synthesize f) in
+          let dred_lattice = Option.get (Lt.Dred_synth.synthesize f) in
+          assert (Lt.Checker.equivalent dred_lattice f);
+          let dred = Lt.Lattice.area dred_lattice in
+          Format.printf "%-12s %2d->%-2d %8d %8d %6.0f%%@." b.Nxc_suite.name
+            (Boolfunc.n_vars f)
+            (Affine.dimension red.Affine.space)
+            direct dred
+            (100.0 *. (1.0 -. (float_of_int dred /. float_of_int direct))))
+    (Nxc_suite.d_reducible ())
+
+(* ------------------------------------------------------------------ *)
+(* E6: BIST coverage and BISD block codes                              *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  section "E6" "BIST exhaustive coverage, BISD logarithmic codes (IV.A)";
+  Format.printf "%-8s %8s %9s %8s %9s %9s@." "array" "faults" "configs"
+    "(group)" "vectors" "coverage";
+  List.iter
+    (fun (m, n) ->
+      let plan = R.Bist.plan ~rows:m ~cols:n in
+      let universe = R.Fault_model.universe ~rows:m ~cols:n in
+      let cov, _ = R.Bist.coverage plan universe in
+      Format.printf "%2dx%-5d %8d %9d %8d %9d %8.1f%%@." m n
+        (List.length universe) (R.Bist.num_configs plan)
+        (R.Bisd.num_group_configs plan)
+        (R.Bist.num_vectors plan) (100.0 *. cov))
+    [ (4, 4); (8, 8); (16, 16); (32, 8); (8, 32); (16, 48) ];
+  Format.printf
+    "@.group configurations (the diagnosis block code) vs fault count:@.";
+  List.iter
+    (fun m ->
+      let plan = R.Bist.plan ~rows:m ~cols:8 in
+      Format.printf "  rows %4d: %2d group configs, %5d faults (log2 = %.1f)@."
+        m
+        (R.Bisd.num_group_configs plan)
+        (R.Fault_model.num_faults ~rows:m ~cols:8)
+        (log (float_of_int (R.Fault_model.num_faults ~rows:m ~cols:8))
+        /. log 2.0))
+    [ 8; 16; 32; 64; 128; 256 ];
+  (* diagnosis resolution over a full universe *)
+  let rows = 6 and cols = 6 in
+  let plan = R.Bist.plan ~rows ~cols in
+  let universe = R.Fault_model.universe ~rows ~cols in
+  let pinned = ref 0 and located = ref 0 in
+  List.iter
+    (fun f ->
+      let loc =
+        R.Bisd.locate plan ~universe ~syndrome:(R.Bist.syndrome plan f)
+      in
+      let rs = List.length loc.R.Bisd.cand_rows
+      and cs = List.length loc.R.Bisd.cand_cols in
+      if rs <= 1 && cs <= 1 then incr pinned;
+      if rs + cs > 0 then incr located)
+    universe;
+  Format.printf
+    "@.diagnosis on the full 6x6 universe: %d/%d faults located, %d pinned to \
+     a single row and column@."
+    !located (List.length universe) !pinned
+
+(* ------------------------------------------------------------------ *)
+(* E7: BISM regimes across defect density                              *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  section "E7" "blind vs greedy vs hybrid BISM (Section IV.B)";
+  let n = 32 and k = 14 and trials = 15 and max_configs = 300 in
+  Format.printf "mapping %dx%d onto %dx%d, %d chips per cell, budget %d@.@." k
+    k n n trials max_configs;
+  Format.printf "%-9s %-8s %9s %10s %10s@." "density" "scheme" "mapped"
+    "avg cfgs" "avg diags";
+  List.iter
+    (fun density ->
+      List.iter
+        (fun (label, scheme) ->
+          let ok = ref 0 and cfgs = ref 0 and diags = ref 0 in
+          for t = 1 to trials do
+            let chip =
+              R.Defect.generate
+                (R.Rng.create ((t * 7919) + int_of_float (density *. 1e6)))
+                ~rows:n ~cols:n (R.Defect.uniform density)
+            in
+            let stats, _ =
+              R.Bism.run
+                (R.Rng.create ((t * 104729) + 13))
+                scheme ~chip ~k_rows:k ~k_cols:k ~max_configs
+            in
+            if stats.R.Bism.success then incr ok;
+            cfgs := !cfgs + stats.R.Bism.configurations;
+            diags := !diags + stats.R.Bism.diagnoses
+          done;
+          Format.printf "%-9.3f %-8s %6d/%-3d %10.1f %10.1f@." density label
+            !ok trials
+            (float_of_int !cfgs /. float_of_int trials)
+            (float_of_int !diags /. float_of_int trials))
+        [ ("blind", R.Bism.Blind); ("greedy", R.Bism.Greedy);
+          ("hybrid", R.Bism.Hybrid 10) ])
+    [ 0.005; 0.01; 0.02; 0.04; 0.08 ];
+  Format.printf
+    "@.expected shape: blind cheap at low density, failing at high; greedy \
+     bounded; hybrid tracks the better of the two@."
+
+(* ------------------------------------------------------------------ *)
+(* E8: defect-unaware flow (Fig. 6)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "E8" "defect-unaware flow: k x k recovery and costs (Fig. 6)";
+  Format.printf "%-6s %-9s %-12s %-8s@." "N" "density" "mean max k" "k/N";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun density ->
+          let ek =
+            R.Yield_model.expected_max_k (R.Rng.create 31) ~trials:25 ~n
+              ~profile:(R.Defect.uniform density)
+          in
+          Format.printf "%-6d %-9.2f %-12.1f %-8.2f@." n density ek
+            (ek /. float_of_int n))
+        [ 0.02; 0.05; 0.10; 0.20 ])
+    [ 16; 32; 64 ];
+  Format.printf "@.yield of fixed k on N=32:@.";
+  List.iter
+    (fun density ->
+      Format.printf "  density %.2f:" density;
+      List.iter
+        (fun k ->
+          let r =
+            R.Yield_model.recovery_rate (R.Rng.create 32) ~trials:30 ~n:32 ~k
+              ~profile:(R.Defect.uniform density)
+          in
+          Format.printf "  k=%d %.0f%%" k (100.0 *. r))
+        [ 12; 16; 20; 24 ];
+      Format.printf "@.")
+    [ 0.02; 0.05; 0.10 ];
+  let chips = 10_000 and apps = 8 and n = 64 in
+  Format.printf "@.flow costs over %d chips, %d applications:@." chips apps;
+  Format.printf "  %a@." R.Defect_flow.pp_cost
+    (R.Defect_flow.aware_cost ~n ~chips ~apps);
+  Format.printf "  %a@." R.Defect_flow.pp_cost
+    (R.Defect_flow.unaware_cost ~n ~k:48 ~chips ~apps)
+
+(* ------------------------------------------------------------------ *)
+(* E9: parametric variation tolerance                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  section "E9" "parametric variation and variation-aware mapping";
+  let cfg = R.Fault_model.single_term ~rows:8 ~cols:8 3 in
+  Format.printf "delay spread of an 8-device chain vs sigma:@.";
+  List.iter
+    (fun sigma ->
+      let s = R.Variation.monte_carlo (R.Rng.create 41) ~trials:400 ~sigma cfg in
+      Format.printf "  sigma %.1f: %a@." sigma R.Variation.pp_stats s)
+    [ 0.1; 0.3; 0.5; 0.7 ];
+  (* variation-aware mapping gain: choose among candidate defect-free
+     selections by measured delay *)
+  let trials = 25 in
+  let gain = ref 0.0 and counted = ref 0 in
+  for t = 1 to trials do
+    let rng = R.Rng.create (500 + t) in
+    let chip = R.Defect.generate rng ~rows:24 ~cols:24 (R.Defect.uniform 0.05) in
+    let delays = R.Variation.sample rng ~rows:24 ~cols:24 ~sigma:0.5 in
+    let base = R.Defect_flow.greedy_max chip in
+    let k = R.Defect_flow.recovered_k base in
+    let candidates =
+      List.filter_map (fun kk -> R.Defect_flow.extract chip ~k:kk) [ k; k - 1 ]
+      @ [ base ]
+    in
+    match candidates with
+    | first :: _ :: _ ->
+        let naive = R.Variation.selection_delay delays first in
+        let _, best = R.Variation.pick_fastest delays candidates in
+        if naive > 0.0 then begin
+          gain := !gain +. ((naive -. best) /. naive);
+          incr counted
+        end
+    | _ -> ()
+  done;
+  Format.printf
+    "@.variation-aware selection saved %.1f%% worst-path delay on average \
+     (%d chips, sigma 0.5)@."
+    (100.0 *. !gain /. float_of_int !counted)
+    !counted
+
+(* ------------------------------------------------------------------ *)
+(* E10: arithmetic + SSM on the defective fabric                       *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  section "E10" "WP3/WP4: nanocomputer elements end to end";
+  let adder = C.Arith.ripple_adder 4 in
+  let errors = ref 0 in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      if C.Arith.add adder x y <> x + y then incr errors
+    done
+  done;
+  Format.printf "4-bit lattice adder: %d sites, %d/256 addition errors@."
+    (C.Arith.adder_area adder) !errors;
+  let counter = C.Ssm.counter ~bits:3 in
+  Format.printf "mod-8 counter: %d lattice sites, correct: %b@."
+    (C.Ssm.logic_area counter)
+    (C.Ssm.equivalent_to counter ~reference:(fun ~state ~input ->
+         ((if input = 1 then (state + 1) land 7 else state), state)));
+  let machine =
+    C.Machine.create ~word_bits:8 ~data_words:8
+      ~program:(C.Machine.assemble_fibonacci ~steps:12)
+      ()
+  in
+  let final = C.Machine.run machine in
+  Format.printf
+    "accumulator machine: F(12) = %d in %d cycles (%d lattice sites)@."
+    (C.Machine.peek machine 0) final.C.Machine.steps
+    (C.Machine.lattice_sites machine);
+  Format.printf "@.Fig. 2 pipeline over defect densities (10 chips each):@.";
+  Format.printf "%-9s %-24s %9s %11s@." "density" "function" "mapped"
+    "functional";
+  List.iter
+    (fun density ->
+      List.iter
+        (fun expr ->
+          let f = Parse.expr expr in
+          let mapped = ref 0 and functional = ref 0 in
+          for t = 1 to 10 do
+            let chip =
+              R.Defect.generate
+                (R.Rng.create (t * 31))
+                ~rows:24 ~cols:24 (R.Defect.uniform density)
+            in
+            let r = C.Flow.run (R.Rng.create (t * 37)) ~chip f in
+            if r.C.Flow.bism.R.Bism.success then incr mapped;
+            if r.C.Flow.functional then incr functional
+          done;
+          Format.printf "%-9.2f %-24s %6d/10 %8d/10@." density expr !mapped
+            !functional)
+        [ "x1x2 + x1'x2'"; "x1x2 + x2x3 + x1'x3'"; "x1 ^ x2 ^ x3 ^ x4" ])
+    [ 0.02; 0.08 ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: multi-output product sharing                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section "E11" "multi-output crossbars: AND-plane product sharing";
+  Format.printf "%-6s %9s %10s %10s %11s@." "name" "outputs" "shared-P"
+    "separateP" "saved";
+  List.iter
+    (fun mo ->
+      let fs = mo.Nxc_suite.outputs in
+      let x = X.Multi.synthesize fs in
+      (* correctness across the whole input space *)
+      let n = Boolfunc.n_vars (List.hd fs) in
+      for m = 0 to (1 lsl n) - 1 do
+        let out = X.Multi.eval_int x m in
+        List.iteri
+          (fun o f -> assert (out.(o) = Boolfunc.eval_int f m))
+          fs
+      done;
+      let sep =
+        List.fold_left
+          (fun acc f -> acc + Cover.num_cubes (Minimize.sop f))
+          0 fs
+      in
+      Format.printf "%-6s %9d %10d %10d %10.0f%%@." mo.Nxc_suite.multi_name
+        (List.length fs) (X.Multi.num_products x) sep
+        (100.0 *. (1.0 -. (float_of_int (X.Multi.num_products x) /. float_of_int sep))))
+    (Nxc_suite.multi_output ());
+  Format.printf
+    "@.products are the programmable AND-plane rows — the paper's size \
+     currency; sharing never needs more of them@."
+
+(* ------------------------------------------------------------------ *)
+(* E12: transient faults and modular redundancy                        *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section "E12" "transient faults: simplex vs TMR ([15]'s lifetime axis)";
+  let f = Parse.expr "x1x2 + x2x3 + x1'x3'" in
+  let l = Lt.Altun_riedel.synthesize f in
+  Format.printf "%d-site lattice, per-site upset probability sweep:@.@."
+    (Lt.Lattice.area l);
+  Format.printf "%-9s %10s %10s %10s %12s@." "epsilon" "simplex" "tmr"
+    "5-mr" "3p^2-2p^3";
+  List.iter
+    (fun eps ->
+      let simplex =
+        R.Transient.module_error_rate (R.Rng.create 81) ~trials:4000
+          ~epsilon:eps l f
+      in
+      let tmr =
+        R.Transient.nmr_error_rate (R.Rng.create 82) ~copies:3 ~trials:4000
+          ~epsilon:eps l f
+      in
+      let fmr =
+        R.Transient.nmr_error_rate (R.Rng.create 83) ~copies:5 ~trials:4000
+          ~epsilon:eps l f
+      in
+      Format.printf "%-9.3f %10.4f %10.4f %10.4f %12.4f@." eps simplex tmr fmr
+        (R.Transient.tmr_prediction simplex))
+    [ 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ];
+  Format.printf
+    "@.expected shape: TMR quadratically suppresses small error rates and \
+     loses its advantage as epsilon grows@."
+
+(* ------------------------------------------------------------------ *)
+(* E13: defect-aware vs defect-unaware placement success               *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13" "defect-aware placement vs defect-free extraction (Fig. 6a vs 6b)";
+  let f = Parse.expr "x1x2 + x2x3 + x1'x3'" in
+  let l = Lt.Altun_riedel.synthesize f in
+  let lr = Lt.Lattice.rows l and lc = Lt.Lattice.cols l in
+  Format.printf "placing a %dx%d lattice on 12x12 chips (30 chips/cell):@.@."
+    lr lc;
+  Format.printf "%-9s %16s %14s@." "density" "defect-unaware" "defect-aware";
+  List.iter
+    (fun density ->
+      let unaware = ref 0 and aware = ref 0 in
+      for t = 1 to 30 do
+        let chip =
+          R.Defect.generate
+            (R.Rng.create ((t * 131) + int_of_float (density *. 1e5)))
+            ~rows:12 ~cols:12 (R.Defect.uniform density)
+        in
+        (* unaware: needs a defect-free region of the lattice's size *)
+        let sel = R.Defect_flow.greedy_max chip in
+        if R.Defect_flow.recovered_k sel >= max lr lc then incr unaware;
+        (* aware: match site needs against the defect kinds *)
+        (match
+           R.Defect_flow.place_lattice (R.Rng.create (t * 17)) chip l
+             ~attempts:60
+         with
+        | Some _ -> incr aware
+        | None -> ())
+      done;
+      Format.printf "%-9.2f %13d/30 %11d/30@." density !unaware !aware)
+    [ 0.05; 0.15; 0.30; 0.45; 0.60 ];
+  Format.printf
+    "@.the application-dependent flow keeps placing configurations long \
+     after universal defect-free regions are gone — at a per-application, \
+     per-chip search cost (Fig. 6's trade-off)@."
+
+(* ------------------------------------------------------------------ *)
+(* E14: diode-array column folding                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section "E14" "diode-array column folding (array optimization, ref. [11])";
+  Format.printf "%-12s %10s %10s %8s@." "name" "unfolded" "folded" "saving";
+  let total_saved = ref 0.0 and counted = ref 0 in
+  List.iter
+    (fun b ->
+      let f = b.Nxc_suite.func in
+      match Boolfunc.is_const f with
+      | Some _ -> ()
+      | None ->
+          let x = X.Diode.synthesize f in
+          let fd = X.Folding.fold_columns x in
+          assert (X.Folding.valid x fd);
+          let d = X.Diode.dims x and d' = X.Folding.folded_dims x in
+          total_saved := !total_saved +. X.Folding.saving fd;
+          incr counted;
+          Format.printf "%-12s %6dx%-5d %5dx%-5d %7.0f%%@." b.Nxc_suite.name
+            d.X.Model.rows d.X.Model.cols d'.X.Model.rows d'.X.Model.cols
+            (100.0 *. X.Folding.saving fd))
+    (Nxc_suite.core ());
+  Format.printf "@.mean literal-column saving: %.0f%%@."
+    (100.0 *. !total_saved /. float_of_int !counted)
+
+(* ------------------------------------------------------------------ *)
+(* E15: lifetime repair loop                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "E15" "lifetime reliability: periodic BIST + BISM repair";
+  Format.printf
+    "12x12 array on a 24x24 chip aging for 4000 steps (8 chips/cell):@.@.";
+  Format.printf "%-10s %-10s %10s %8s %10s %10s@." "fail-rate" "interval"
+    "avail" "remaps" "corrupt" "survived";
+  List.iter
+    (fun failure_rate ->
+      List.iter
+        (fun check_interval ->
+          let trials = 8 in
+          let avail = ref 0.0
+          and remaps = ref 0
+          and corrupt = ref 0
+          and alive = ref 0 in
+          for t = 1 to trials do
+            let chip = R.Defect.perfect ~rows:24 ~cols:24 in
+            let s =
+              R.Lifetime.simulate
+                (R.Rng.create ((t * 997) + check_interval))
+                ~chip ~k:12 ~horizon:4000 ~failure_rate ~check_interval
+            in
+            avail := !avail +. R.Lifetime.availability s;
+            remaps := !remaps + s.R.Lifetime.remaps;
+            corrupt := !corrupt + s.R.Lifetime.corrupt_steps;
+            if s.R.Lifetime.survived then incr alive
+          done;
+          Format.printf "%-10.3f %-10d %9.1f%% %8.1f %10.1f %7d/%d@."
+            failure_rate check_interval
+            (100.0 *. !avail /. float_of_int trials)
+            (float_of_int !remaps /. float_of_int trials)
+            (float_of_int !corrupt /. float_of_int trials)
+            !alive trials)
+        [ 10; 50; 250 ])
+    [ 0.002; 0.01 ];
+  Format.printf
+    "@.shorter check intervals buy availability (less silent corruption) at \
+     higher test cost — the paper's runtime-reliability trade@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benches                                             *)
+(* ------------------------------------------------------------------ *)
+
+let timing () =
+  section "TIMING" "Bechamel micro-benchmarks of the synthesis kernels";
+  let open Bechamel in
+  let open Toolkit in
+  let maj5 = (Nxc_suite.majority 5).Nxc_suite.func in
+  let rnd6 =
+    (Nxc_suite.random_function ~n:6 ~seed:9 ~density:0.3).Nxc_suite.func
+  in
+  let tt6 = Boolfunc.table rnd6 in
+  let chip64 =
+    R.Defect.generate (R.Rng.create 90) ~rows:64 ~cols:64 (R.Defect.uniform 0.05)
+  in
+  let plan88 = R.Bist.plan ~rows:8 ~cols:8 in
+  let universe88 = R.Fault_model.universe ~rows:8 ~cols:8 in
+  let maj5_lattice = Lt.Altun_riedel.synthesize maj5 in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [ Test.make ~name:"qm_exact_maj5"
+          (Staged.stage (fun () -> ignore (Qm.minimize_func maj5)));
+        Test.make ~name:"isop_rnd6"
+          (Staged.stage (fun () -> ignore (Isop.isop tt6)));
+        Test.make ~name:"ar_synthesis_maj5"
+          (Staged.stage (fun () -> ignore (Lt.Altun_riedel.synthesize maj5)));
+        Test.make ~name:"lattice_eval_32_inputs"
+          (Staged.stage (fun () ->
+               for m = 0 to 31 do
+                 ignore (Lt.Lattice.eval_int maj5_lattice m)
+               done));
+        Test.make ~name:"bist_plan_16x16"
+          (Staged.stage (fun () -> ignore (R.Bist.plan ~rows:16 ~cols:16)));
+        Test.make ~name:"bist_coverage_8x8"
+          (Staged.stage (fun () ->
+               ignore (R.Bist.coverage plan88 universe88)));
+        Test.make ~name:"greedy_extract_64x64"
+          (Staged.stage (fun () -> ignore (R.Defect_flow.greedy_max chip64)));
+        Test.make ~name:"bism_greedy_32"
+          (Staged.stage (fun () ->
+               let chip =
+                 R.Defect.generate (R.Rng.create 91) ~rows:32 ~cols:32
+                   (R.Defect.uniform 0.04)
+               in
+               ignore
+                 (R.Bism.run (R.Rng.create 92) R.Bism.Greedy ~chip ~k_rows:12
+                    ~k_cols:12 ~max_configs:200))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-40s %15s@." "kernel" "ns/run";
+  List.iter (fun (name, ns) -> Format.printf "%-40s %15.0f@." name ns) rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("TIMING", timing) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt (String.uppercase_ascii id) experiments with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "unknown experiment %s (have: %s)@." id
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested

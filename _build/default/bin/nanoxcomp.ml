@@ -1,0 +1,314 @@
+(* nanoxcomp — command-line front end.
+
+   Subcommands:
+     synth  <expr>      synthesize one function on every technology
+     suite              size table over the benchmark suite
+     bist               BIST plan statistics and coverage
+     bism               self-mapping experiment on random chips
+     flow   <expr>      end-to-end synthesize/map/verify pipeline
+     yield              k x k recovery statistics *)
+
+open Cmdliner
+open Nxc_logic
+module R = Nxc_reliability
+module Lt = Nxc_lattice
+module C = Nxc_core
+
+let expr_arg =
+  let doc = "Boolean expression over x1, x2, ... (e.g. \"x1x2 + x1'x2'\")." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"random seed")
+
+let density_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "density"; "d" ] ~docv:"D" ~doc:"defect density (fraction)")
+
+let parse_or_die expr =
+  match Parse.expr expr with
+  | f -> f
+  | exception Parse.Parse_error msg ->
+      Format.eprintf "parse error: %s@." msg;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let run expr show_lattice =
+    let f = parse_or_die expr in
+    let impl = C.Synth.synthesize f in
+    let s = C.Synth.sizes impl in
+    print_endline C.Report.size_header;
+    print_endline (C.Report.size_row s);
+    if not (C.Synth.verify impl) then begin
+      Format.eprintf "internal error: verification failed@.";
+      exit 1
+    end;
+    Format.printf "@.products(f) = %d, products(f^D) = %d, literals = %d@."
+      impl.C.Synth.products impl.C.Synth.dual_products
+      impl.C.Synth.distinct_literals;
+    if show_lattice then
+      Format.printf "@.best lattice:@.%a@." Lt.Lattice.pp
+        (C.Synth.best_lattice impl)
+  in
+  let show_lattice =
+    Arg.(value & flag & info [ "lattice" ] ~doc:"print the best lattice grid")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"synthesize a function on all technologies")
+    Term.(const run $ expr_arg $ show_lattice)
+
+let suite_cmd =
+  let run full =
+    let benches = if full then Nxc_suite.all () else Nxc_suite.core () in
+    let rows =
+      List.map
+        (fun b ->
+          C.Synth.sizes
+            (C.Synth.synthesize
+               ~decompose:(Boolfunc.n_vars b.Nxc_suite.func <= 6)
+               b.Nxc_suite.func))
+        benches
+    in
+    print_endline (C.Report.size_table rows)
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"include the larger benchmarks (slower)")
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"size comparison over the benchmark suite")
+    Term.(const run $ full)
+
+let bist_cmd =
+  let run rows cols =
+    let plan = R.Bist.plan ~rows ~cols in
+    let universe = R.Fault_model.universe ~rows ~cols in
+    let cov, und = R.Bist.coverage plan universe in
+    Format.printf "plan for %dx%d: %d configurations (%d group), %d vectors@."
+      rows cols (R.Bist.num_configs plan)
+      (R.Bisd.num_group_configs plan)
+      (R.Bist.num_vectors plan);
+    Format.printf "faults: %d, coverage %.1f%%@." (List.length universe)
+      (100.0 *. cov);
+    List.iter
+      (fun f -> Format.printf "  UNDETECTED: %a@." R.Fault_model.pp_fault f)
+      und
+  in
+  let rows =
+    Arg.(value & opt int 8 & info [ "rows"; "r" ] ~docv:"R" ~doc:"array rows")
+  in
+  let cols =
+    Arg.(value & opt int 8 & info [ "cols"; "c" ] ~docv:"C" ~doc:"array cols")
+  in
+  Cmd.v
+    (Cmd.info "bist" ~doc:"test-plan statistics and fault coverage")
+    Term.(const run $ rows $ cols)
+
+let scheme_conv =
+  let parse = function
+    | "blind" -> Ok R.Bism.Blind
+    | "greedy" -> Ok R.Bism.Greedy
+    | "hybrid" -> Ok (R.Bism.Hybrid 10)
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf = function
+    | R.Bism.Blind -> Format.pp_print_string ppf "blind"
+    | R.Bism.Greedy -> Format.pp_print_string ppf "greedy"
+    | R.Bism.Hybrid _ -> Format.pp_print_string ppf "hybrid"
+  in
+  Arg.conv (parse, print)
+
+let bism_cmd =
+  let run n k density scheme seed trials =
+    let successes = ref 0 and configs = ref 0 in
+    for t = 1 to trials do
+      let chip =
+        R.Defect.generate
+          (R.Rng.create (seed + t))
+          ~rows:n ~cols:n (R.Defect.uniform density)
+      in
+      let stats, _ =
+        R.Bism.run
+          (R.Rng.create (seed + (1000 * t)))
+          scheme ~chip ~k_rows:k ~k_cols:k ~max_configs:1000
+      in
+      if stats.R.Bism.success then incr successes;
+      configs := !configs + stats.R.Bism.configurations
+    done;
+    Format.printf
+      "%d/%d chips mapped (k=%d on N=%d at %.1f%% defects), avg %.1f \
+       configurations@."
+      !successes trials k n (100.0 *. density)
+      (float_of_int !configs /. float_of_int trials)
+  in
+  let n = Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
+  let k =
+    Arg.(value & opt int 12 & info [ "k" ] ~docv:"K" ~doc:"logical side")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv (R.Bism.Hybrid 10)
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"blind, greedy or hybrid")
+  in
+  let trials =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"chips to try")
+  in
+  Cmd.v
+    (Cmd.info "bism" ~doc:"built-in self-mapping experiment")
+    Term.(const run $ n $ k $ density_arg $ scheme $ seed_arg $ trials)
+
+let flow_cmd =
+  let run expr n density seed =
+    let f = parse_or_die expr in
+    let chip =
+      R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n
+        (R.Defect.uniform density)
+    in
+    let result = C.Flow.run (R.Rng.create (seed + 1)) ~chip f in
+    let lattice = C.Synth.best_lattice result.C.Flow.impl in
+    Format.printf "lattice %dx%d on a %dx%d chip (%.1f%% defects)@."
+      (Lt.Lattice.rows lattice) (Lt.Lattice.cols lattice) n n
+      (100.0 *. R.Defect.actual_density chip);
+    Format.printf "%a@." R.Bism.pp_stats result.C.Flow.bism;
+    Format.printf "functional after mapping: %b@." result.C.Flow.functional;
+    exit (if result.C.Flow.functional then 0 else 1)
+  in
+  let n = Arg.(value & opt int 24 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"end-to-end synthesize, self-map and verify")
+    Term.(const run $ expr_arg $ n $ density_arg $ seed_arg)
+
+let yield_cmd =
+  let run n density trials =
+    let profile = R.Defect.uniform density in
+    let ek =
+      R.Yield_model.expected_max_k (R.Rng.create 1) ~trials ~n ~profile
+    in
+    Format.printf "N=%d, density %.1f%%: mean recovered k = %.1f@." n
+      (100.0 *. density) ek;
+    List.iter
+      (fun y ->
+        let k =
+          R.Yield_model.guaranteed_k (R.Rng.create 2) ~trials ~n ~profile
+            ~min_yield:y
+        in
+        Format.printf "  k guaranteed at %.0f%% yield: %d@." (100.0 *. y) k)
+      [ 0.5; 0.9; 0.99 ]
+  in
+  let n = Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
+  let trials =
+    Arg.(value & opt int 40 & info [ "trials" ] ~docv:"T" ~doc:"Monte Carlo trials")
+  in
+  Cmd.v
+    (Cmd.info "yield" ~doc:"defect-unaware flow yield statistics")
+    Term.(const run $ n $ density_arg $ trials)
+
+let pla_cmd =
+  let run path =
+    let text =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Parse.pla_of_string text with
+    | exception Parse.Parse_error msg ->
+        Format.eprintf "PLA error: %s@." msg;
+        exit 2
+    | p ->
+        let fs =
+          Array.to_list
+            (Array.mapi
+               (fun o cover ->
+                 let name =
+                   match p.Parse.output_labels with
+                   | Some labels when List.length labels > o ->
+                       List.nth labels o
+                   | _ -> Printf.sprintf "y%d" o
+                 in
+                 Boolfunc.of_cover ~name cover)
+               p.Parse.on_sets)
+        in
+        let nonconst =
+          List.filter (fun f -> Boolfunc.is_const f = None) fs
+        in
+        Format.printf "%d inputs, %d outputs (%d non-constant)@.@."
+          p.Parse.inputs p.Parse.outputs (List.length nonconst);
+        print_endline C.Report.size_header;
+        List.iter
+          (fun f ->
+            print_endline (C.Report.size_row (C.Synth.sizes (C.Synth.synthesize f))))
+          nonconst;
+        match nonconst with
+        | _ :: _ :: _ ->
+            let x = Nxc_crossbar.Multi.synthesize nonconst in
+            let d = Nxc_crossbar.Multi.dims x in
+            Format.printf
+              "@.shared multi-output crossbar: %dx%d (%d products)@."
+              d.Nxc_crossbar.Model.rows d.Nxc_crossbar.Model.cols
+              (Nxc_crossbar.Multi.num_products x)
+        | _ -> ()
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"PLA file")
+  in
+  Cmd.v
+    (Cmd.info "pla" ~doc:"synthesize every output of a Berkeley PLA file")
+    Term.(const run $ path)
+
+let machine_cmd =
+  let run program n =
+    let prog =
+      match program with
+      | "sum" -> C.Machine.assemble_sum_1_to_n ~n
+      | "fib" -> C.Machine.assemble_fibonacci ~steps:n
+      | p ->
+          Format.eprintf "unknown program %S (have: sum, fib)@." p;
+          exit 2
+    in
+    let m = C.Machine.create ~word_bits:8 ~data_words:8 ~program:prog () in
+    Format.printf
+      "accumulator machine: %d lattice sites of combinational logic@."
+      (C.Machine.lattice_sites m);
+    let final = C.Machine.run m in
+    Format.printf "ran %S n=%d: %d cycles, result mem[0] = %d@." program n
+      final.C.Machine.steps (C.Machine.peek m 0)
+  in
+  let program =
+    Arg.(value & pos 0 string "sum" & info [] ~docv:"PROGRAM" ~doc:"sum or fib")
+  in
+  let n =
+    Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"program parameter")
+  in
+  Cmd.v
+    (Cmd.info "machine"
+       ~doc:"run a demo program on the lattice-fabric accumulator machine")
+    Term.(const run $ program $ n)
+
+let () =
+  (* NANOXCOMP_VERBOSE=debug|info enables library tracing *)
+  (match Sys.getenv_opt "NANOXCOMP_VERBOSE" with
+  | Some level ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level
+        (match level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning)
+  | None -> ());
+  let info =
+    Cmd.info "nanoxcomp" ~version:"1.0.0"
+      ~doc:"logic synthesis and fault tolerance for nano-crossbar arrays"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; suite_cmd; bist_cmd; bism_cmd; flow_cmd; yield_cmd;
+            pla_cmd; machine_cmd ]))

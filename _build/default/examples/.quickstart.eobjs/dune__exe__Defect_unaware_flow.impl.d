@@ -1,0 +1,1 @@
+examples/defect_unaware_flow.ml: Defect Defect_flow Format List Nxc_reliability Rng Yield_model

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Bisd Bism Bist Defect Fault_model Format Lifetime List Nxc_lattice Nxc_logic Nxc_reliability Rng String Transient

@@ -1,0 +1,1 @@
+examples/nanocomputer.ml: Array Format List Nxc_core Nxc_lattice Nxc_logic Nxc_reliability Parse String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Boolfunc Cover Format Minimize Nxc_crossbar Nxc_lattice Nxc_logic Parse

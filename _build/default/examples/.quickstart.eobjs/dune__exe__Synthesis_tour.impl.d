@@ -1,0 +1,1 @@
+examples/synthesis_tour.ml: Format List Nxc_core Nxc_lattice Nxc_suite Printf Report Synth

@@ -1,0 +1,119 @@
+(* Fault tolerance walkthrough (Section IV):
+   1. BIST: build a test plan for an 8x8 crossbar, show 100% coverage
+      with a logarithmic number of configurations;
+   2. BISD: inject a fault, decode its location from the syndrome;
+   3. BISM: map a logical array onto defective chips with the blind,
+      greedy and hybrid schemes across defect densities. *)
+
+open Nxc_reliability
+module Fm = Fault_model
+
+let () =
+  let rows = 8 and cols = 8 in
+  Format.printf "== BIST on a %dx%d crossbar ==@.@." rows cols;
+  let plan = Bist.plan ~rows ~cols in
+  let universe = Fm.universe ~rows ~cols in
+  let coverage, undetected = Bist.coverage plan universe in
+  Format.printf "fault universe      : %d faults@." (List.length universe);
+  Format.printf "test configurations : %d (%d group + %d diagonal)@."
+    (Bist.num_configs plan)
+    (Bisd.num_group_configs plan)
+    (Bist.num_configs plan - Bisd.num_group_configs plan);
+  Format.printf "test vectors        : %d@." (Bist.num_vectors plan);
+  Format.printf "coverage            : %.1f%% (%d undetected)@.@."
+    (100.0 *. coverage) (List.length undetected);
+
+  Format.printf "configurations stay logarithmic in rows:@.";
+  List.iter
+    (fun m ->
+      let p = Bist.plan ~rows:m ~cols:8 in
+      Format.printf "  rows %3d: %2d group configs for %4d faults@." m
+        (Bisd.num_group_configs p)
+        (Fm.num_faults ~rows:m ~cols:8))
+    [ 4; 8; 16; 32; 64; 128 ];
+
+  Format.printf "@.== BISD: diagnosing an injected fault ==@.@.";
+  let fault = Fm.Xpoint_stuck_open (5, 2) in
+  Format.printf "injected: %a@." Fm.pp_fault fault;
+  let syndrome = Bist.syndrome plan fault in
+  Format.printf "syndrome: %d failing (config, vector) pairs@."
+    (List.length syndrome);
+  (match Bisd.decode_row_code plan syndrome with
+  | Some r -> Format.printf "row decoded from the group block code: %d@." r
+  | None -> Format.printf "row code inconclusive@.");
+  let loc = Bisd.locate plan ~universe ~syndrome in
+  Format.printf "localized to rows %s, cols %s@.@."
+    (String.concat "," (List.map string_of_int loc.Bisd.cand_rows))
+    (String.concat "," (List.map string_of_int loc.Bisd.cand_cols));
+
+  Format.printf "== BISM: blind vs greedy vs hybrid ==@.@.";
+  Format.printf "mapping a 14x14 logical array onto a 32x32 chip@.@.";
+  Format.printf "%-8s %-10s %8s %8s %9s %s@." "density" "scheme" "configs"
+    "tests" "diagnoses" "result";
+  List.iter
+    (fun density ->
+      List.iter
+        (fun (label, scheme) ->
+          (* average over a few chips *)
+          let trials = 10 in
+          let acc_cfg = ref 0 and acc_tests = ref 0 and acc_diag = ref 0 in
+          let successes = ref 0 in
+          for t = 1 to trials do
+            let chip =
+              Defect.generate
+                (Rng.create (t * 7919))
+                ~rows:32 ~cols:32 (Defect.uniform density)
+            in
+            let stats, _ =
+              Bism.run
+                (Rng.create (t * 104729))
+                scheme ~chip ~k_rows:14 ~k_cols:14 ~max_configs:500
+            in
+            if stats.Bism.success then incr successes;
+            acc_cfg := !acc_cfg + stats.Bism.configurations;
+            acc_tests := !acc_tests + stats.Bism.test_applications;
+            acc_diag := !acc_diag + stats.Bism.diagnoses
+          done;
+          Format.printf "%-8.3f %-10s %8d %8d %9d %d/%d mapped@." density label
+            (!acc_cfg / trials) (!acc_tests / trials) (!acc_diag / trials)
+            !successes trials)
+        [ ("blind", Bism.Blind); ("greedy", Bism.Greedy);
+          ("hybrid", Bism.Hybrid 10) ])
+    [ 0.005; 0.02; 0.06 ]
+
+(* transient upsets and modular redundancy *)
+let () =
+  Format.printf "@.== Transient faults: simplex vs TMR ==@.@.";
+  let f = Nxc_logic.Parse.expr "x1x2 + x2x3 + x1'x3'" in
+  let lattice = Nxc_lattice.Altun_riedel.synthesize f in
+  List.iter
+    (fun eps ->
+      let simplex =
+        Transient.module_error_rate (Rng.create 1) ~trials:3000 ~epsilon:eps
+          lattice f
+      in
+      let tmr =
+        Transient.nmr_error_rate (Rng.create 2) ~copies:3 ~trials:3000
+          ~epsilon:eps lattice f
+      in
+      Format.printf "  upset prob %.3f: simplex %.4f -> TMR %.4f@." eps simplex
+        tmr)
+    [ 0.005; 0.02; 0.08 ]
+
+(* lifetime: periodic self-test + self-repair while the fabric ages *)
+let () =
+  Format.printf "@.== Lifetime: aging fabric with periodic repair ==@.@.";
+  List.iter
+    (fun interval ->
+      let chip = Defect.perfect ~rows:24 ~cols:24 in
+      let s =
+        Lifetime.simulate (Rng.create 5) ~chip ~k:12 ~horizon:3000
+          ~failure_rate:0.01 ~check_interval:interval
+      in
+      Format.printf
+        "  check every %3d steps: availability %.1f%%, %d repairs, %s@."
+        interval
+        (100.0 *. Lifetime.availability s)
+        s.Lifetime.remaps
+        (if s.Lifetime.survived then "survived" else "died"))
+    [ 10; 100; 500 ]

@@ -1,0 +1,90 @@
+(* Toward the nanocomputer (WP3/WP4, Section V future work made
+   concrete): arithmetic and memory elements on the lattice fabric and
+   a synchronous state machine, then the full Fig. 2 pipeline — a
+   function synthesized, self-mapped onto a defective chip with BISM,
+   and verified functional. *)
+
+open Nxc_logic
+module R = Nxc_reliability
+module C = Nxc_core
+
+let () =
+  Format.printf "== WP3: arithmetic on the lattice fabric ==@.@.";
+  let adder = C.Arith.ripple_adder 4 in
+  Format.printf "4-bit ripple adder: %d lattice sites total@."
+    (C.Arith.adder_area adder);
+  Format.printf "  13 + 9 = %d@." (C.Arith.add adder 13 9);
+  Format.printf "  15 + 15 = %d@." (C.Arith.add adder 15 15);
+  let cmp = C.Arith.less_than 4 in
+  Format.printf "comparator: 5 < 11 = %b, 11 < 5 = %b@."
+    (C.Arith.compare_lt cmp 5 11)
+    (C.Arith.compare_lt cmp 11 5);
+  let mul = C.Arith.multiplier_2x2 () in
+  Format.printf "2x2 multiplier: 3 * 3 = %d@.@." (C.Arith.multiply_2x2 mul 3 3);
+
+  Format.printf "== WP3: crossbar memory with spare-row repair ==@.@.";
+  let chip = ref (R.Defect.perfect ~rows:10 ~cols:8) in
+  chip := R.Defect.with_defect !chip 2 3 R.Defect.Stuck_open;
+  chip := R.Defect.with_defect !chip 5 0 R.Defect.Stuck_closed;
+  let mem = C.Memory.create ~chip:!chip ~words:8 ~width:8 ~spares:2 () in
+  Format.printf "8x8 memory on a chip with 2 defective rows: repaired %d rows@."
+    (C.Memory.repaired_rows mem);
+  C.Memory.write mem ~addr:2
+    [| true; false; true; false; true; false; true; false |];
+  let word = C.Memory.read mem ~addr:2 in
+  Format.printf "wrote 10101010 to address 2, read back: %s@."
+    (String.concat ""
+       (List.map (fun b -> if b then "1" else "0") (Array.to_list word)));
+  Format.printf "memory defect-free after repair: %b@.@."
+    (C.Memory.defect_free mem);
+
+  Format.printf "== WP4: synchronous state machine ==@.@.";
+  let counter = C.Ssm.counter ~bits:3 in
+  Format.printf "mod-8 counter (%d lattice sites of logic)@."
+    (C.Ssm.logic_area counter);
+  let trace = C.Ssm.run counter ~init:0 [ 1; 1; 1; 1; 0; 1 ] in
+  Format.printf "  enable pattern 111101 -> states %s@."
+    (String.concat " " (List.map (fun (s, _) -> string_of_int s) trace));
+  let detector = C.Ssm.sequence_detector ~pattern:[ true; false; true ] in
+  let input = [ 1; 0; 1; 0; 1; 1; 0; 1 ] in
+  let accepts = List.map snd (C.Ssm.run detector ~init:0 input) in
+  Format.printf "  '101' detector on 10101101 -> accepts %s@.@."
+    (String.concat "" (List.map string_of_int accepts));
+
+  Format.printf "== WP4: a programmable accumulator machine ==@.@.";
+  let machine =
+    C.Machine.create ~word_bits:8 ~data_words:8
+      ~program:(C.Machine.assemble_sum_1_to_n ~n:10)
+      ()
+  in
+  Format.printf
+    "8-bit accumulator machine (%d lattice sites of combinational logic)@."
+    (C.Machine.lattice_sites machine);
+  let final = C.Machine.run machine in
+  Format.printf "  sum 1..10 program: %d steps, result mem[0] = %d@."
+    final.C.Machine.steps (C.Machine.peek machine 0);
+  let fib =
+    C.Machine.create ~word_bits:8 ~data_words:8
+      ~program:(C.Machine.assemble_fibonacci ~steps:12)
+      ()
+  in
+  ignore (C.Machine.run fib);
+  Format.printf "  fibonacci program: F(12) = %d@.@." (C.Machine.peek fib 0);
+
+  Format.printf "== Fig. 2 pipeline: synthesize -> self-map -> verify ==@.@.";
+  let chip =
+    R.Defect.generate (R.Rng.create 7) ~rows:24 ~cols:24 (R.Defect.uniform 0.06)
+  in
+  Format.printf "chip: 24x24, %.1f%% defective@."
+    (100.0 *. R.Defect.actual_density chip);
+  List.iter
+    (fun expr ->
+      let f = Parse.expr expr in
+      let result = C.Flow.run (R.Rng.create 8) ~chip f in
+      let lattice = C.Synth.best_lattice result.C.Flow.impl in
+      Format.printf
+        "  %-24s lattice %dx%d  %a  functional on chip: %b@." expr
+        (Nxc_lattice.Lattice.rows lattice)
+        (Nxc_lattice.Lattice.cols lattice)
+        R.Bism.pp_stats result.C.Flow.bism result.C.Flow.functional)
+    [ "x1x2 + x1'x2'"; "x1x2 + x2x3 + x1'x3'"; "x1 ^ x2 ^ x3 ^ x4" ]

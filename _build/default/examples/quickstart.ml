@@ -1,0 +1,55 @@
+(* Quickstart: synthesize the paper's running example
+   f = x1x2 + x1'x2'  (Section III)
+   on all three crosspoint technologies and check every result. *)
+
+open Nxc_logic
+module Lt = Nxc_lattice
+module X = Nxc_crossbar
+
+let () =
+  let f = Parse.expr "x1x2 + x1'x2'" in
+  Format.printf "target function: %s@." (Boolfunc.name f);
+
+  (* two-level view *)
+  let cover = Minimize.sop f in
+  let dual_cover = Minimize.dual_sop f in
+  Format.printf "  minimized SOP : %a@." Cover.pp cover;
+  Format.printf "  dual SOP      : %a@.@." Cover.pp dual_cover;
+
+  (* diode crossbar (Fig. 3, left) *)
+  let diode = X.Diode.synthesize f in
+  Format.printf "%a@." X.Diode.pp diode;
+
+  (* FET crossbar (Fig. 3, right) *)
+  let fet = X.Fet.synthesize f in
+  Format.printf "%a@." X.Fet.pp fet;
+
+  (* four-terminal switch lattice (Fig. 5) *)
+  let lattice = Lt.Altun_riedel.synthesize f in
+  Format.printf "four-terminal lattice %dx%d:@.%a@.@." (Lt.Lattice.rows lattice)
+    (Lt.Lattice.cols lattice) Lt.Lattice.pp lattice;
+
+  (* all three compute f *)
+  let ok = ref true in
+  for m = 0 to 3 do
+    let expect = Boolfunc.eval_int f m in
+    if
+      X.Diode.eval_int diode m <> expect
+      || X.Fet.eval_int fet m <> expect
+      || Lt.Lattice.eval_int lattice m <> expect
+    then ok := false
+  done;
+  Format.printf "all implementations agree with f: %b@." !ok;
+  Format.printf "lattice also computes the dual left-to-right: %b@.@."
+    (Lt.Checker.computes_dual_lr lattice f);
+
+  (* first-order physical estimates *)
+  Format.printf "%a@." X.Metrics.pp (X.Metrics.diode diode);
+  Format.printf "%a@." X.Metrics.pp (X.Metrics.fet fet);
+
+  (* paper Fig. 4: a published 6-variable lattice *)
+  let fig4_f, fig4_lattice = Lt.Altun_riedel.paper_example () in
+  Format.printf "@.paper Fig. 4 lattice (computes %s):@.%a@."
+    (Boolfunc.name fig4_f) Lt.Lattice.pp fig4_lattice;
+  Format.printf "Fig. 4 lattice verified: %b@."
+    (Lt.Checker.equivalent fig4_lattice fig4_f)

@@ -1,0 +1,70 @@
+(* Synthesis tour: run the Section III study over the benchmark suite —
+   diode vs FET vs four-terminal lattice sizes, then the two
+   preprocessing techniques (P-circuits, D-reducibility). *)
+
+open Nxc_core
+module Lt = Nxc_lattice
+
+let () =
+  Format.printf "== Array sizes across technologies (Section III) ==@.@.";
+  let rows =
+    List.map
+      (fun b -> Synth.sizes (Synth.synthesize b.Nxc_suite.func))
+      (Nxc_suite.core ())
+  in
+  print_endline (Report.size_table rows);
+
+  Format.printf "@.== P-circuit decomposition preprocessing (III.B.1) ==@.@.";
+  Format.printf "%-12s  %-8s  %-8s  %s@." "name" "direct" "decomp" "gain";
+  List.iter
+    (fun b ->
+      let f = b.Nxc_suite.func in
+      let direct = Lt.Altun_riedel.synthesize f in
+      let dec = Lt.Decompose_synth.synthesize f in
+      let da = Lt.Lattice.area direct and de = Lt.Lattice.area dec in
+      Format.printf "%-12s  %dx%-6d %dx%-6d %s@." b.Nxc_suite.name
+        (Lt.Lattice.rows direct) (Lt.Lattice.cols direct) (Lt.Lattice.rows dec)
+        (Lt.Lattice.cols dec)
+        (if de < da then Printf.sprintf "-%.0f%%"
+              (100.0 *. (1.0 -. (float_of_int de /. float_of_int da)))
+         else "=");
+      assert (Lt.Checker.equivalent dec f))
+    (Nxc_suite.core ());
+
+  Format.printf "@.== D-reducible preprocessing (III.B.2) ==@.@.";
+  Format.printf "%-12s  %-8s  %-8s  %s@." "name" "direct" "d-red" "gain";
+  List.iter
+    (fun b ->
+      let f = b.Nxc_suite.func in
+      let direct = Lt.Altun_riedel.synthesize f in
+      match Lt.Dred_synth.synthesize f with
+      | None -> Format.printf "%-12s  not D-reducible@." b.Nxc_suite.name
+      | Some dred ->
+          assert (Lt.Checker.equivalent dred f);
+          let da = Lt.Lattice.area direct and de = Lt.Lattice.area dred in
+          Format.printf "%-12s  %dx%-6d %dx%-6d %s@." b.Nxc_suite.name
+            (Lt.Lattice.rows direct) (Lt.Lattice.cols direct)
+            (Lt.Lattice.rows dred) (Lt.Lattice.cols dred)
+            (if de < da then
+               Printf.sprintf "-%.0f%%"
+                 (100.0 *. (1.0 -. (float_of_int de /. float_of_int da)))
+             else "="))
+    (Nxc_suite.d_reducible ());
+
+  (* tiny functions: certify AR optimality against brute force *)
+  Format.printf "@.== Brute-force optimality check on tiny functions ==@.@.";
+  List.iter
+    (fun name ->
+      match Nxc_suite.by_name name with
+      | None -> ()
+      | Some b ->
+          let ar = Lt.Altun_riedel.synthesize b.Nxc_suite.func in
+          (match Lt.Optimal.minimum_area ~max_area:6 b.Nxc_suite.func with
+          | Some opt ->
+              Format.printf "%-8s AR area %d, optimal %d%s@." name
+                (Lt.Lattice.area ar) opt
+                (if Lt.Lattice.area ar = opt then "  (AR is optimal)" else "")
+          | None ->
+              Format.printf "%-8s AR area %d, optimum beyond search bound@."
+                name (Lt.Lattice.area ar)))
+    [ "xnor2"; "xor2"; "mux2" ]

@@ -1,0 +1,1 @@
+lib/core/arith.ml: Array Bool Nxc_lattice Nxc_logic Printf

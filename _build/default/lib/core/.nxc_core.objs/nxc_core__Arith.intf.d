@@ -1,0 +1,1 @@
+lib/core/arith.mli: Nxc_lattice

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Logs Nxc_lattice Nxc_reliability Synth

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Nxc_lattice Nxc_logic Nxc_reliability Synth

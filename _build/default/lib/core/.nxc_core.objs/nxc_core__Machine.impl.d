@@ -1,0 +1,1 @@
+lib/core/machine.ml: Arith Array List Memory Nxc_lattice Nxc_logic Nxc_reliability

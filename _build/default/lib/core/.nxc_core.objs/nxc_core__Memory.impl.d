@@ -1,0 +1,1 @@
+lib/core/memory.ml: Array Fun List Nxc_reliability

@@ -1,0 +1,1 @@
+lib/core/ssm.ml: Array Fun List Nxc_lattice Nxc_logic Printf

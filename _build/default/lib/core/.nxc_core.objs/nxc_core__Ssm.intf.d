@@ -1,0 +1,1 @@
+lib/core/ssm.mli: Nxc_logic

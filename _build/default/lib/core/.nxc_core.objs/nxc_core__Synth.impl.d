@@ -1,0 +1,1 @@
+lib/core/synth.ml: List Nxc_crossbar Nxc_lattice Nxc_logic Option

@@ -1,0 +1,1 @@
+lib/core/synth.mli: Nxc_crossbar Nxc_lattice Nxc_logic

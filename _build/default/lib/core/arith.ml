@@ -1,0 +1,93 @@
+module L = Nxc_logic
+module Lt = Nxc_lattice
+
+(* bit-slice functions over (a, b, carry-in) = variables (x1, x2, x3) *)
+let sum_func =
+  L.Boolfunc.of_fun_int ~name:"fa_sum" 3 (fun m ->
+      (m lxor (m lsr 1) lxor (m lsr 2)) land 1 = 1)
+
+let carry_func =
+  L.Boolfunc.of_fun_int ~name:"fa_carry" 3 (fun m ->
+      let pop = (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1) in
+      pop >= 2)
+
+type adder = {
+  bits : int;
+  sum_lattice : Lt.Lattice.t;
+  carry_lattice : Lt.Lattice.t;
+}
+
+let ripple_adder bits =
+  if bits <= 0 then invalid_arg "Arith.ripple_adder";
+  { bits;
+    sum_lattice = Lt.Altun_riedel.synthesize sum_func;
+    carry_lattice = Lt.Altun_riedel.synthesize carry_func }
+
+let adder_area a =
+  a.bits * (Lt.Lattice.area a.sum_lattice + Lt.Lattice.area a.carry_lattice)
+
+let add a x y =
+  let limit = 1 lsl a.bits in
+  if x < 0 || y < 0 || x >= limit || y >= limit then
+    invalid_arg "Arith.add: operand out of range";
+  let result = ref 0 and carry = ref 0 in
+  for i = 0 to a.bits - 1 do
+    let slice =
+      ((x lsr i) land 1) lor (((y lsr i) land 1) lsl 1) lor (!carry lsl 2)
+    in
+    if Lt.Lattice.eval_int a.sum_lattice slice then
+      result := !result lor (1 lsl i);
+    carry := Bool.to_int (Lt.Lattice.eval_int a.carry_lattice slice)
+  done;
+  !result lor (!carry lsl a.bits)
+
+type comparator = { cmp_bits : int; step_lattice : Lt.Lattice.t }
+
+(* lt_out = a' b + (a = b) lt_in, over (a, b, lt_in) = (x1, x2, x3) *)
+let lt_step =
+  L.Boolfunc.of_fun_int ~name:"lt_step" 3 (fun m ->
+      let a = m land 1 and b = (m lsr 1) land 1 and lt = (m lsr 2) land 1 in
+      (a = 0 && b = 1) || (a = b && lt = 1))
+
+let less_than bits =
+  if bits <= 0 then invalid_arg "Arith.less_than";
+  { cmp_bits = bits; step_lattice = Lt.Altun_riedel.synthesize lt_step }
+
+let compare_lt c x y =
+  let limit = 1 lsl c.cmp_bits in
+  if x < 0 || y < 0 || x >= limit || y >= limit then
+    invalid_arg "Arith.compare_lt: operand out of range";
+  (* scan from the least significant bit: the final slice (MSB) wins *)
+  let lt = ref false in
+  for i = 0 to c.cmp_bits - 1 do
+    let slice =
+      ((x lsr i) land 1) lor (((y lsr i) land 1) lsl 1)
+      lor (Bool.to_int !lt lsl 2)
+    in
+    lt := Lt.Lattice.eval_int c.step_lattice slice
+  done;
+  !lt
+
+let multiplier_2x2 () =
+  Array.init 4 (fun out ->
+      let f =
+        L.Boolfunc.of_fun_int
+          ~name:(Printf.sprintf "mul2_p%d" out)
+          4
+          (fun m ->
+            let a = m land 3 and b = (m lsr 2) land 3 in
+            ((a * b) lsr out) land 1 = 1)
+      in
+      match L.Boolfunc.is_const f with
+      | Some _ -> Lt.Compose.of_const 4 false
+      | None -> Lt.Altun_riedel.synthesize f)
+
+let multiply_2x2 lattices x y =
+  if x < 0 || y < 0 || x > 3 || y > 3 then
+    invalid_arg "Arith.multiply_2x2: operand out of range";
+  let input = x lor (y lsl 2) in
+  let result = ref 0 in
+  Array.iteri
+    (fun out l -> if Lt.Lattice.eval_int l input then result := !result lor (1 lsl out))
+    lattices;
+  !result

@@ -1,0 +1,41 @@
+(** WP3 extension: arithmetic elements realized as switching lattices.
+
+    A ripple-carry adder whose per-bit sum (3-input parity) and carry
+    (3-input majority) functions are synthesized as Altun–Riedel
+    lattices and evaluated by lattice connectivity — arithmetic running
+    on the simulated nano-fabric, the project's third work package. *)
+
+type adder = {
+  bits : int;
+  sum_lattice : Nxc_lattice.Lattice.t;  (** parity of a, b, carry-in *)
+  carry_lattice : Nxc_lattice.Lattice.t;  (** majority of a, b, carry-in *)
+}
+
+val ripple_adder : int -> adder
+
+val adder_area : adder -> int
+(** Total lattice sites across all bit positions. *)
+
+val add : adder -> int -> int -> int
+(** [add a x y] with [x, y < 2{^bits}]; the result includes the final
+    carry as the top bit.  Every bit is computed by lattice
+    evaluation. *)
+
+type comparator = {
+  cmp_bits : int;
+  step_lattice : Nxc_lattice.Lattice.t;
+      (** lt_out(a_i, b_i, lt_in) — one bit-slice of an iterative
+          less-than comparator *)
+}
+
+val less_than : int -> comparator
+
+val compare_lt : comparator -> int -> int -> bool
+(** [compare_lt c a b] is [a < b], computed slice by slice on the
+    lattice. *)
+
+val multiplier_2x2 : unit -> Nxc_lattice.Lattice.t array
+(** The four product bits of a 2x2 multiplier, each as a lattice over
+    the 4 operand bits. *)
+
+val multiply_2x2 : Nxc_lattice.Lattice.t array -> int -> int -> int

@@ -1,0 +1,63 @@
+module R = Nxc_reliability
+module Lt = Nxc_lattice
+
+let src = Logs.Src.create "nxc.flow" ~doc:"synthesize/map/verify pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = {
+  impl : Synth.t;
+  bism : R.Bism.stats;
+  mapping : R.Bism.mapping option;
+  functional : bool;
+}
+
+let lattice_with_defects lattice chip (mapping : R.Bism.mapping) =
+  Lt.Lattice.map
+    (fun r c site ->
+      let pr = mapping.R.Bism.row_map.(r) and pc = mapping.R.Bism.col_map.(c) in
+      match R.Defect.kind_at chip pr pc with
+      | None -> site
+      | Some R.Defect.Stuck_open -> Lt.Lattice.Zero
+      | Some (R.Defect.Stuck_closed | R.Defect.Bridge) -> Lt.Lattice.One)
+    lattice
+
+let run ?(scheme = R.Bism.Hybrid 10) ?(max_configs = 1000) rng ~chip func =
+  let impl = Synth.synthesize func in
+  let lattice = Synth.best_lattice impl in
+  Log.info (fun f ->
+      f "mapping a %dx%d lattice onto a %dx%d chip (%.1f%% defective)"
+        (Lt.Lattice.rows lattice) (Lt.Lattice.cols lattice)
+        (R.Defect.rows chip) (R.Defect.cols chip)
+        (100.0 *. R.Defect.actual_density chip));
+  let bism, mapping =
+    R.Bism.run rng scheme ~chip
+      ~k_rows:(Lt.Lattice.rows lattice)
+      ~k_cols:(Lt.Lattice.cols lattice)
+      ~max_configs
+  in
+  let functional =
+    match mapping with
+    | None -> false
+    | Some m ->
+        Lt.Checker.equivalent (lattice_with_defects lattice chip m) func
+  in
+  { impl; bism; mapping; functional }
+
+type aware_result = {
+  aware_impl : Synth.t;
+  placed : bool;
+  aware_functional : bool;
+}
+
+let run_defect_aware ?(attempts = 200) rng ~chip func =
+  let aware_impl = Synth.synthesize func in
+  let lattice = Synth.best_lattice aware_impl in
+  match R.Defect_flow.place_lattice rng chip lattice ~attempts with
+  | None -> { aware_impl; placed = false; aware_functional = false }
+  | Some (rows, cols) ->
+      let mapping = { R.Bism.row_map = rows; col_map = cols } in
+      let aware_functional =
+        Lt.Checker.equivalent (lattice_with_defects lattice chip mapping) func
+      in
+      { aware_impl; placed = true; aware_functional }

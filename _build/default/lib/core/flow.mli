@@ -1,0 +1,51 @@
+(** End-to-end flow (the paper's Fig. 2 pipeline): synthesize a
+    function, self-map the resulting lattice onto a partially defective
+    physical crossbar with BISM, and verify the mapped circuit still
+    computes the function under the chip's remaining defects. *)
+
+type result = {
+  impl : Synth.t;
+  bism : Nxc_reliability.Bism.stats;
+  mapping : Nxc_reliability.Bism.mapping option;
+  functional : bool;
+      (** the lattice, evaluated with the defects of its mapped physical
+          region applied to its sites, still equals the function *)
+}
+
+val lattice_with_defects :
+  Nxc_lattice.Lattice.t ->
+  Nxc_reliability.Defect.t ->
+  Nxc_reliability.Bism.mapping ->
+  Nxc_lattice.Lattice.t
+(** Apply the chip's defects to the mapped sites: a stuck-open
+    crosspoint forces the site to constant 0, a stuck-closed or bridge
+    crosspoint to constant 1 (conservative). *)
+
+val run :
+  ?scheme:Nxc_reliability.Bism.scheme ->
+  ?max_configs:int ->
+  Nxc_reliability.Rng.t ->
+  chip:Nxc_reliability.Defect.t ->
+  Nxc_logic.Boolfunc.t ->
+  result
+(** Default scheme: [Hybrid 10]. *)
+
+(** {2 Defect-aware variant (Fig. 6a)}
+
+    Instead of demanding a defect-free region, match the specific
+    lattice configuration against the chip's defect kinds
+    ({!Nxc_reliability.Defect_flow.place_lattice}); survives much
+    higher densities at a per-application search cost. *)
+
+type aware_result = {
+  aware_impl : Synth.t;
+  placed : bool;
+  aware_functional : bool;
+}
+
+val run_defect_aware :
+  ?attempts:int ->
+  Nxc_reliability.Rng.t ->
+  chip:Nxc_reliability.Defect.t ->
+  Nxc_logic.Boolfunc.t ->
+  aware_result

@@ -1,0 +1,1 @@
+lib/crossbar/diode.ml: Array Format Hashtbl List Model Nxc_logic Printf String

@@ -1,0 +1,1 @@
+lib/crossbar/diode.mli: Format Model Nxc_logic

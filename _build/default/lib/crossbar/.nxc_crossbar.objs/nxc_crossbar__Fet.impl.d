@@ -1,0 +1,1 @@
+lib/crossbar/fet.ml: Array Format Hashtbl List Model Nxc_logic

@@ -1,0 +1,1 @@
+lib/crossbar/fet.mli: Format Model Nxc_logic

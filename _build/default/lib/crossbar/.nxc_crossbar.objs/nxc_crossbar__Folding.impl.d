@@ -1,0 +1,1 @@
+lib/crossbar/folding.ml: Array Diode Fun List Model Nxc_logic

@@ -1,0 +1,1 @@
+lib/crossbar/folding.mli: Diode Model Nxc_logic

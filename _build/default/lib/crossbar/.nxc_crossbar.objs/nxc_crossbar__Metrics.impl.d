@@ -1,0 +1,1 @@
+lib/crossbar/metrics.ml: Array Diode Fet Format List Model Nxc_logic

@@ -1,0 +1,1 @@
+lib/crossbar/metrics.mli: Diode Fet Format Model

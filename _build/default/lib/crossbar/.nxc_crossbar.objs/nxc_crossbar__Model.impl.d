@@ -1,0 +1,1 @@
+lib/crossbar/model.ml: Array

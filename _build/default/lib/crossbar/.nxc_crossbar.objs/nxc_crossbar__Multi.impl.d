@@ -1,0 +1,1 @@
+lib/crossbar/multi.ml: Array Diode Format Hashtbl List Model Nxc_logic String

@@ -1,0 +1,1 @@
+lib/crossbar/multi.mli: Format Model Nxc_logic

@@ -1,0 +1,48 @@
+(** Diode-resistor crossbar implementation of SOP functions.
+
+    Fig. 3 of the paper: each product of [f] occupies a horizontal
+    nanowire (row) and each distinct literal a vertical nanowire
+    (column); one extra column collects the output.  A diode is
+    programmed at [(row of product P, column of literal l)] when
+    [l] appears in [P], and at [(row of P, output column)] for every
+    product.  Row lines compute wired-AND of their literals; the output
+    column computes wired-OR of the rows.
+
+    Size: [#products x (#distinct literals + 1)] — optimal given the
+    SOP, per the paper. *)
+
+type t
+
+val of_cover : Nxc_logic.Cover.t -> t
+(** Raises [Invalid_argument] if the cover contains the universal cube
+    (constants have no SOP crossbar; test with
+    {!Nxc_logic.Cover.is_bottom} / handle upstream) or is empty. *)
+
+val synthesize : ?method_:Nxc_logic.Minimize.method_ -> Nxc_logic.Boolfunc.t -> t
+(** Minimize and build.  Raises [Invalid_argument] on constant
+    functions. *)
+
+val n_vars : t -> int
+
+val dims : t -> Model.dims
+(** Rows = products, cols = distinct literals + 1. *)
+
+val size_formula : ?method_:Nxc_logic.Minimize.method_ -> Nxc_logic.Boolfunc.t -> Model.dims
+
+val placement : t -> Model.placement
+
+val cover : t -> Nxc_logic.Cover.t
+
+val literal_columns : t -> (int * Nxc_logic.Cube.polarity) array
+(** Column index [c] carries this literal, for [c < cols - 1]; the last
+    column is the output. *)
+
+val row_value : t -> int -> int -> bool
+(** [row_value xbar m r]: wired-AND value of row [r] under assignment
+    [m], computed from the placement. *)
+
+val eval_int : t -> int -> bool
+
+val eval : t -> bool array -> bool
+
+val pp : Format.formatter -> t -> unit

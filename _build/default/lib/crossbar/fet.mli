@@ -1,0 +1,60 @@
+(** FET (CMOS-style) crossbar implementation of SOP functions.
+
+    Fig. 3 of the paper: each product of [f] and of its dual [f{^D}]
+    occupies a vertical nanowire (column) and each distinct literal a
+    horizontal gate line (row).
+
+    - a {e pull-up} column for a product [P] of [f] is a series chain of
+      FETs gated by the literals of [P]: it conducts (drives the output
+      to 1) exactly when [P] is satisfied;
+    - a {e pull-down} column for a product [Q] of [f{^D}] is a series
+      chain gated by the {e complements} of [Q]'s literals: it conducts
+      (drives 0) exactly when every literal of [Q] is false, i.e. when
+      [Q] witnesses [f{^D}](not x) = 1, i.e. [f](x) = 0.
+
+    Duality makes the two networks complementary: on every input
+    exactly one of them conducts ({!is_complementary}), which the test
+    suite verifies — the structural analogue of CMOS's static
+    correctness.
+
+    Size: [#literals x (#products(f) + #products(f{^D}))]. *)
+
+type t
+
+val of_covers :
+  n:int -> f_cover:Nxc_logic.Cover.t -> dual_cover:Nxc_logic.Cover.t -> t
+(** Raises [Invalid_argument] on degenerate (constant) covers. *)
+
+val synthesize : ?method_:Nxc_logic.Minimize.method_ -> Nxc_logic.Boolfunc.t -> t
+(** Minimize [f] and [f{^D}] and build.  Raises [Invalid_argument] on
+    constant functions. *)
+
+val n_vars : t -> int
+
+val dims : t -> Model.dims
+
+val size_formula : ?method_:Nxc_logic.Minimize.method_ -> Nxc_logic.Boolfunc.t -> Model.dims
+
+val placement : t -> Model.placement
+(** Programmed crosspoints of both networks on the shared grid; the
+    pull-up columns come first. *)
+
+val num_pullup : t -> int
+
+val num_pulldown : t -> int
+
+val row_literals : t -> (int * Nxc_logic.Cube.polarity) array
+(** Gate line of each row. *)
+
+val pullup_conducts : t -> int -> bool
+val pulldown_conducts : t -> int -> bool
+
+val is_complementary : t -> bool
+(** Exactly one network conducts on every assignment.  Always true for
+    a function/dual cover pair. *)
+
+val eval_int : t -> int -> bool
+
+val eval : t -> bool array -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+module L = Nxc_logic
+module Cube = L.Cube
+module Cover = L.Cover
+
+type fold = {
+  top : int * Cube.polarity;
+  bottom : int * Cube.polarity;
+}
+
+type t = {
+  original_cols : int;
+  folded_cols : int;
+  folds : fold list;
+  unpaired : (int * Cube.polarity) list;
+}
+
+(* rows (as a bitmask) in which each literal column is used *)
+let usage_masks xbar =
+  let cover = Diode.cover xbar in
+  let lits = Diode.literal_columns xbar in
+  Array.map
+    (fun lit ->
+      List.fold_left
+        (fun acc (r, cube) ->
+          if List.mem lit (Cube.literals cube) then acc lor (1 lsl r) else acc)
+        0
+        (List.mapi (fun r c -> (r, c)) (Cover.cubes cover)))
+    lits
+
+let fold_columns xbar =
+  let lits = Diode.literal_columns xbar in
+  let masks = usage_masks xbar in
+  let n = Array.length lits in
+  let paired = Array.make n false in
+  let folds = ref [] in
+  (* greedy: process columns by descending usage, pair each with the
+     densest compatible unpaired partner *)
+  let order =
+    List.sort
+      (fun a b ->
+        compare
+          (- (let rec pop m = if m = 0 then 0 else (m land 1) + pop (m lsr 1) in
+              pop masks.(a)))
+          (- (let rec pop m = if m = 0 then 0 else (m land 1) + pop (m lsr 1) in
+              pop masks.(b))))
+      (List.init n Fun.id)
+  in
+  List.iter
+    (fun i ->
+      if not paired.(i) then
+        let partner =
+          List.find_opt
+            (fun j -> j <> i && (not paired.(j)) && masks.(i) land masks.(j) = 0)
+            order
+        in
+        match partner with
+        | Some j ->
+            paired.(i) <- true;
+            paired.(j) <- true;
+            folds := { top = lits.(i); bottom = lits.(j) } :: !folds
+        | None -> ())
+    order;
+  let unpaired =
+    List.filter_map
+      (fun i -> if paired.(i) then None else Some lits.(i))
+      (List.init n Fun.id)
+  in
+  { original_cols = n;
+    folded_cols = List.length !folds + List.length unpaired;
+    folds = List.rev !folds;
+    unpaired }
+
+let folded_dims xbar =
+  let f = fold_columns xbar in
+  { Model.rows = (Diode.dims xbar).Model.rows; cols = f.folded_cols + 1 }
+
+let valid xbar f =
+  let cover = Diode.cover xbar in
+  List.for_all
+    (fun { top; bottom } ->
+      List.for_all
+        (fun cube ->
+          let lits = Cube.literals cube in
+          not (List.mem top lits && List.mem bottom lits))
+        (Cover.cubes cover))
+    f.folds
+
+let saving f =
+  if f.original_cols = 0 then 0.0
+  else
+    float_of_int (f.original_cols - f.folded_cols)
+    /. float_of_int f.original_cols

@@ -1,0 +1,52 @@
+module L = Nxc_logic
+
+type report = {
+  impl : string;
+  rows : int;
+  cols : int;
+  crosspoints : int;
+  programmed : int;
+  area_nm2 : float;
+  delay_ps : float;
+  energy_aj : float;
+}
+
+let of_dims ?(tech = Model.diode_tech) ~impl ~programmed ~path_length dims =
+  let { Model.rows; cols } = dims in
+  { impl;
+    rows;
+    cols;
+    crosspoints = rows * cols;
+    programmed;
+    area_nm2 = float_of_int rows *. tech.Model.pitch_nm
+               *. (float_of_int cols *. tech.Model.pitch_nm);
+    delay_ps = float_of_int path_length *. tech.Model.crosspoint_delay_ps;
+    energy_aj = float_of_int programmed *. tech.Model.crosspoint_energy_aj }
+
+let diode ?(tech = Model.diode_tech) x =
+  let dims = Diode.dims x in
+  of_dims ~tech ~impl:"diode"
+    ~programmed:(Model.programmed (Diode.placement x))
+    ~path_length:(dims.Model.rows + dims.Model.cols)
+    dims
+
+let fet ?(tech = Model.fet_tech) x =
+  let dims = Fet.dims x in
+  (* longest series chain: max programmed devices in one column *)
+  let placement = Fet.placement x in
+  let per_col = Array.make dims.Model.cols 0 in
+  Model.iter_programmed (fun _ c -> per_col.(c) <- per_col.(c) + 1) placement;
+  let path_length = Array.fold_left max 1 per_col in
+  of_dims ~tech ~impl:"fet"
+    ~programmed:(Model.programmed placement)
+    ~path_length dims
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%-14s %3dx%-3d  xpoints %4d  used %4d  area %8.0f nm^2  delay %6.1f ps  \
+     energy %7.1f aJ"
+    r.impl r.rows r.cols r.crosspoints r.programmed r.area_nm2 r.delay_ps
+    r.energy_aj
+
+let pp_table ppf rs =
+  List.iter (fun r -> Format.fprintf ppf "%a@\n" pp r) rs

@@ -1,0 +1,44 @@
+(** First-order area / delay / energy estimates for crossbar and
+    lattice implementations.
+
+    The DATE'17 paper optimizes array {e size}; the project it
+    summarizes also targets delay and power (Section II).  These
+    estimates give those axes a concrete, clearly-documented model:
+
+    - area: [(rows * pitch) * (cols * pitch)];
+    - delay: worst conduction-path length (in crosspoints) times the
+      per-crosspoint RC contribution;
+    - energy: number of switching crosspoints times per-device energy.
+
+    The absolute values are technology-parameter scaled and only
+    meaningful relatively, which is how the benches use them. *)
+
+type report = {
+  impl : string;
+  rows : int;
+  cols : int;
+  crosspoints : int;
+  programmed : int;  (** programmed/used devices *)
+  area_nm2 : float;
+  delay_ps : float;
+  energy_aj : float;
+}
+
+val of_dims :
+  ?tech:Model.tech ->
+  impl:string ->
+  programmed:int ->
+  path_length:int ->
+  Model.dims ->
+  report
+
+val diode : ?tech:Model.tech -> Diode.t -> report
+(** Path: literal column -> row -> output column: [2] crosspoints plus
+    wire spans, modelled as [rows + cols]. *)
+
+val fet : ?tech:Model.tech -> Fet.t -> report
+(** Path: longest series chain = largest product size. *)
+
+val pp : Format.formatter -> report -> unit
+
+val pp_table : Format.formatter -> report list -> unit

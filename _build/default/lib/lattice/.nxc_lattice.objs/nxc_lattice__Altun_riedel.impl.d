@@ -1,0 +1,1 @@
+lib/lattice/altun_riedel.ml: Array Lattice Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/altun_riedel.mli: Lattice Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/checker.ml: Lattice Nxc_logic

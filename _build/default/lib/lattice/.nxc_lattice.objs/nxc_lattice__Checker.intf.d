@@ -1,0 +1,1 @@
+lib/lattice/checker.mli: Lattice Nxc_logic

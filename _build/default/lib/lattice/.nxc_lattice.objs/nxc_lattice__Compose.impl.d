@@ -1,0 +1,1 @@
+lib/lattice/compose.ml: Array Lattice List Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/compose.mli: Lattice Nxc_logic

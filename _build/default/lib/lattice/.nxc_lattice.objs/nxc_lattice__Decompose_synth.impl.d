@@ -1,0 +1,1 @@
+lib/lattice/decompose_synth.ml: Altun_riedel Compose Fun Lattice List Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/decompose_synth.mli: Lattice Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/dred_synth.ml: Altun_riedel Array Compose Lattice List Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/dred_synth.mli: Lattice Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/lattice.mli: Format Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/optimal.ml: Array Checker Compose Fun Lattice List Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/optimal.mli: Lattice Nxc_logic

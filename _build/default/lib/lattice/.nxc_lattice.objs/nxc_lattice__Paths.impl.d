@@ -1,0 +1,1 @@
+lib/lattice/paths.ml: Array Lattice List Nxc_logic

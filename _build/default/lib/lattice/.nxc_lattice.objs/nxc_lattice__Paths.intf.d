@@ -1,0 +1,1 @@
+lib/lattice/paths.mli: Lattice Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/trim.ml: Array Checker Lattice List Nxc_logic

@@ -1,0 +1,1 @@
+lib/lattice/trim.mli: Lattice Nxc_logic

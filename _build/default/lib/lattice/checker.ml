@@ -1,0 +1,23 @@
+module L = Nxc_logic
+
+let counterexample lattice f =
+  let n = L.Boolfunc.n_vars f in
+  if Lattice.n_vars lattice < n then Some 0
+  else
+    let rec go m =
+      if m >= 1 lsl n then None
+      else if Lattice.eval_int lattice m <> L.Boolfunc.eval_int f m then Some m
+      else go (m + 1)
+    in
+    go 0
+
+let equivalent lattice f = counterexample lattice f = None
+
+let computes_dual_lr lattice f =
+  let d = L.Boolfunc.dual f in
+  let n = L.Boolfunc.n_vars f in
+  let rec go m =
+    m >= 1 lsl n
+    || (Lattice.eval_lr lattice m = L.Boolfunc.eval_int d m && go (m + 1))
+  in
+  go 0

@@ -1,0 +1,74 @@
+module Cube = Nxc_logic.Cube
+module Cover = Nxc_logic.Cover
+
+let pad_to_rows l h =
+  let r = Lattice.rows l and c = Lattice.cols l in
+  if h < r then invalid_arg "Compose.pad_to_rows: shrinking";
+  if h = r then l
+  else
+    let grid = Lattice.sites l in
+    let extra = Array.init (h - r) (fun _ -> Array.make c Lattice.One) in
+    Lattice.make ~n_vars:(Lattice.n_vars l) (Array.append grid extra)
+
+let pad_to_cols l w =
+  let c = Lattice.cols l in
+  if w < c then invalid_arg "Compose.pad_to_cols: shrinking";
+  if w = c then l
+  else
+    let grid = Lattice.sites l in
+    let padded =
+      Array.map (fun row -> Array.append row (Array.make (w - c) Lattice.Zero)) grid
+    in
+    Lattice.make ~n_vars:(Lattice.n_vars l) padded
+
+let check_arity a b =
+  if Lattice.n_vars a <> Lattice.n_vars b then
+    invalid_arg "Compose: variable-count mismatch"
+
+let disjunction a b =
+  check_arity a b;
+  let h = max (Lattice.rows a) (Lattice.rows b) in
+  let a = pad_to_rows a h and b = pad_to_rows b h in
+  let ga = Lattice.sites a and gb = Lattice.sites b in
+  let sites =
+    Array.init h (fun r ->
+        Array.concat [ ga.(r); [| Lattice.Zero |]; gb.(r) ])
+  in
+  Lattice.make ~n_vars:(Lattice.n_vars a) sites
+
+let conjunction a b =
+  check_arity a b;
+  let w = max (Lattice.cols a) (Lattice.cols b) in
+  let a = pad_to_cols a w and b = pad_to_cols b w in
+  let sites =
+    Array.concat
+      [ Lattice.sites a; [| Array.make w Lattice.One |]; Lattice.sites b ]
+  in
+  Lattice.make ~n_vars:(Lattice.n_vars a) sites
+
+let reduce_list name op = function
+  | [] -> invalid_arg name
+  | l :: rest -> List.fold_left op l rest
+
+let disjunction_list ls = reduce_list "Compose.disjunction_list: empty" disjunction ls
+let conjunction_list ls = reduce_list "Compose.conjunction_list: empty" conjunction ls
+
+let of_literal n v p = Lattice.make ~n_vars:n [| [| Lattice.Lit (v, p) |] |]
+
+let of_const n b =
+  Lattice.make ~n_vars:n [| [| (if b then Lattice.One else Lattice.Zero) |] |]
+
+let of_cube n c =
+  match Cube.literals c with
+  | [] -> of_const n true
+  | lits ->
+      let sites =
+        Array.of_list
+          (List.map (fun (v, p) -> [| Lattice.Lit (v, p) |]) lits)
+      in
+      Lattice.make ~n_vars:n sites
+
+let of_cover n f =
+  match Cover.cubes f with
+  | [] -> of_const n false
+  | cubes -> disjunction_list (List.map (of_cube n) cubes)

@@ -1,0 +1,39 @@
+(** Lattice synthesis through P-circuit decomposition
+    (Section III.B.1; Bernasconi, Ciriani, Frontini, Liberali, Trucco,
+    Villa 2016).
+
+    [f = lit(xi=p) f_eq + lit(xi<>p) f_neq + f_int] is mapped to
+
+    {[ OR( AND(L(lit), L(f_eq)), AND(L(lit'), L(f_neq)), L(f_int) ) ]}
+
+    where the component lattices come from {!Altun_riedel} and the
+    AND/OR composition from {!Compose}.  The components depend on one
+    variable fewer than [f] and have smaller on-sets, so the composed
+    lattice is often smaller than direct synthesis — the expectation the
+    paper reports as experimentally confirmed. *)
+
+val synthesize_with :
+  ?strategy:Nxc_logic.Pcircuit.strategy ->
+  var:int ->
+  pol:bool ->
+  Nxc_logic.Boolfunc.t ->
+  Lattice.t
+(** Decompose around the given variable/polarity and compose. *)
+
+val synthesize :
+  ?strategy:Nxc_logic.Pcircuit.strategy -> Nxc_logic.Boolfunc.t -> Lattice.t
+(** Try every (var, pol) choice and keep the smallest composed
+    lattice. *)
+
+val synthesize_recursive :
+  ?strategy:Nxc_logic.Pcircuit.strategy -> ?depth:int ->
+  Nxc_logic.Boolfunc.t -> Lattice.t
+(** Recursive P-circuits: the decomposition's components are themselves
+    decomposed (up to [depth] levels, default 2) when that shrinks
+    their lattices — the natural extension of Bernasconi et al.'s
+    scheme.  Every branch falls back to direct Altun–Riedel synthesis
+    when decomposition does not pay. *)
+
+val best_of : Nxc_logic.Boolfunc.t -> Lattice.t
+(** The smaller of direct Altun–Riedel synthesis and the best
+    decomposition-based lattice — the flow evaluated in the paper. *)

@@ -1,0 +1,153 @@
+module Cube = Nxc_logic.Cube
+module Boolfunc = Nxc_logic.Boolfunc
+
+type site = Zero | One | Lit of int * Cube.polarity
+
+type t = { n : int; rows : int; cols : int; sites : site array array }
+
+let make ~n_vars sites =
+  let rows = Array.length sites in
+  if rows = 0 then invalid_arg "Lattice.make: no rows";
+  let cols = Array.length sites.(0) in
+  if cols = 0 then invalid_arg "Lattice.make: empty rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Lattice.make: ragged rows")
+    sites;
+  Array.iter
+    (Array.iter (function
+      | Lit (v, _) when v < 0 || v >= n_vars ->
+          invalid_arg "Lattice.make: literal out of range"
+      | Zero | One | Lit _ -> ()))
+    sites;
+  { n = n_vars; rows; cols; sites = Array.map Array.copy sites }
+
+let n_vars l = l.n
+let rows l = l.rows
+let cols l = l.cols
+let area l = l.rows * l.cols
+
+let site l r c =
+  if r < 0 || r >= l.rows || c < 0 || c >= l.cols then
+    invalid_arg "Lattice.site: out of range";
+  l.sites.(r).(c)
+
+let sites l = Array.map Array.copy l.sites
+
+let map f l =
+  { l with sites = Array.mapi (fun r row -> Array.mapi (fun c s -> f r c s) row) l.sites }
+
+let site_conducts s m =
+  match s with
+  | Zero -> false
+  | One -> true
+  | Lit (v, Cube.Pos) -> m land (1 lsl v) <> 0
+  | Lit (v, Cube.Neg) -> m land (1 lsl v) = 0
+
+(* Connectivity by BFS over conducting sites.  [starts] seeds the
+   frontier; [finished] decides success. *)
+let connected l m ~starts ~finished =
+  let on = Array.make (l.rows * l.cols) false in
+  for r = 0 to l.rows - 1 do
+    for c = 0 to l.cols - 1 do
+      on.((r * l.cols) + c) <- site_conducts l.sites.(r).(c) m
+    done
+  done;
+  let visited = Array.make (l.rows * l.cols) false in
+  let queue = Queue.create () in
+  List.iter
+    (fun (r, c) ->
+      let i = (r * l.cols) + c in
+      if on.(i) && not visited.(i) then begin
+        visited.(i) <- true;
+        Queue.add (r, c) queue
+      end)
+    starts;
+  let result = ref false in
+  while (not !result) && not (Queue.is_empty queue) do
+    let r, c = Queue.pop queue in
+    if finished (r, c) then result := true
+    else
+      List.iter
+        (fun (r', c') ->
+          if r' >= 0 && r' < l.rows && c' >= 0 && c' < l.cols then begin
+            let i = (r' * l.cols) + c' in
+            if on.(i) && not visited.(i) then begin
+              visited.(i) <- true;
+              Queue.add (r', c') queue
+            end
+          end)
+        [ (r - 1, c); (r + 1, c); (r, c - 1); (r, c + 1) ]
+  done;
+  !result
+
+let eval_int l m =
+  connected l m
+    ~starts:(List.init l.cols (fun c -> (0, c)))
+    ~finished:(fun (r, _) -> r = l.rows - 1)
+
+let eval l x =
+  let m = ref 0 in
+  Array.iteri (fun i b -> if b then m := !m lor (1 lsl i)) x;
+  eval_int l !m
+
+let eval_lr l m =
+  connected l m
+    ~starts:(List.init l.rows (fun r -> (r, 0)))
+    ~finished:(fun (_, c) -> c = l.cols - 1)
+
+let to_function ?(name = "lattice") l =
+  Boolfunc.of_fun_int ~name l.n (eval_int l)
+
+let conducting_sites l m =
+  let acc = ref [] in
+  for r = l.rows - 1 downto 0 do
+    for c = l.cols - 1 downto 0 do
+      if site_conducts l.sites.(r).(c) m then acc := (r, c) :: !acc
+    done
+  done;
+  !acc
+
+let paths_exist_through l m (r0, c0) =
+  site_conducts l.sites.(r0).(c0) m
+  && connected l m
+       ~starts:(List.init l.cols (fun c -> (0, c)))
+       ~finished:(fun (r, c) -> r = r0 && c = c0)
+  && connected l m ~starts:[ (r0, c0) ] ~finished:(fun (r, _) -> r = l.rows - 1)
+
+let transpose l =
+  { l with
+    rows = l.cols;
+    cols = l.rows;
+    sites = Array.init l.cols (fun c -> Array.init l.rows (fun r -> l.sites.(r).(c))) }
+
+let site_to_string = function
+  | Zero -> "0"
+  | One -> "1"
+  | Lit (v, Cube.Pos) -> Printf.sprintf "x%d" (v + 1)
+  | Lit (v, Cube.Neg) -> Printf.sprintf "x%d'" (v + 1)
+
+let pp ppf l =
+  let width =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc s -> max acc (String.length (site_to_string s)))
+          acc row)
+      1 l.sites
+  in
+  Array.iteri
+    (fun r row ->
+      Format.pp_print_string ppf "| ";
+      Array.iter
+        (fun s ->
+          let str = site_to_string s in
+          Format.fprintf ppf "%s%s " str
+            (String.make (width - String.length str) ' '))
+        row;
+      Format.pp_print_string ppf "|";
+      if r < l.rows - 1 then Format.pp_print_newline ppf ())
+    l.sites
+
+let to_string l = Format.asprintf "%a" pp l

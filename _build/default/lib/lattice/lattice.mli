@@ -1,0 +1,71 @@
+(** Four-terminal switch lattices.
+
+    A lattice is a rectangular grid of four-terminal switches (Fig. 1 of
+    the paper).  Each site is controlled by a literal or a constant;
+    when its control evaluates to 1 the switch connects to all four
+    neighbours, when 0 it isolates.  The lattice computes 1 on an input
+    assignment iff a path of conducting sites connects the top edge to
+    the bottom edge (Fig. 4).  Left-to-right connectivity computes the
+    dual function for Altun–Riedel lattices — exposed here as
+    {!eval_lr}. *)
+
+type site =
+  | Zero  (** permanently open switch *)
+  | One   (** permanently closed switch *)
+  | Lit of int * Nxc_logic.Cube.polarity
+      (** switch controlled by a literal of variable [i] (0-based) *)
+
+type t
+
+val make : n_vars:int -> site array array -> t
+(** [make ~n_vars sites] with [sites] in row-major order; all rows must
+    have equal positive length.  Raises [Invalid_argument] otherwise. *)
+
+val n_vars : t -> int
+
+val rows : t -> int
+
+val cols : t -> int
+
+val area : t -> int
+(** [rows * cols], the paper's size metric. *)
+
+val site : t -> int -> int -> site
+(** [site l r c]; raises [Invalid_argument] out of range. *)
+
+val sites : t -> site array array
+(** A copy of the grid. *)
+
+val map : (int -> int -> site -> site) -> t -> t
+
+val site_conducts : site -> int -> bool
+(** Whether a site conducts under the assignment encoded in the int. *)
+
+val eval_int : t -> int -> bool
+(** Top-to-bottom connectivity under an assignment. *)
+
+val eval : t -> bool array -> bool
+
+val eval_lr : t -> int -> bool
+(** Left-to-right connectivity — for lattices built by
+    {!Altun_riedel.synthesize} this computes the dual function. *)
+
+val to_function : ?name:string -> t -> Nxc_logic.Boolfunc.t
+
+val conducting_sites : t -> int -> (int * int) list
+(** Sites that conduct under an assignment (row, col). *)
+
+val paths_exist_through : t -> int -> (int * int) -> bool
+(** Whether some top-bottom conducting path passes through the given
+    site under the assignment. *)
+
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Grid rendering, one row per line, e.g.
+    {v
+    | x1  x2' 1  |
+    | x3  0   x1 |
+    v} *)
+
+val to_string : t -> string

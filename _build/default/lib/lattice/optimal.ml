@@ -1,0 +1,77 @@
+module L = Nxc_logic
+
+type result = Found of Lattice.t | Proved_larger of int | Budget_exhausted
+
+(* Dimension pairs of a given area, wider-or-square first for cache
+   friendliness; the function computed is not symmetric in (r, c) so all
+   factorizations are tried. *)
+let dims_of_area area =
+  let rec go r acc =
+    if r > area then List.rev acc
+    else if area mod r = 0 then go (r + 1) ((r, area / r) :: acc)
+    else go (r + 1) acc
+  in
+  go 1 []
+
+let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true) f =
+  let n = L.Boolfunc.n_vars f in
+  let alphabet =
+    List.concat_map
+      (fun v -> [ Lattice.Lit (v, L.Cube.Pos); Lattice.Lit (v, L.Cube.Neg) ])
+      (List.init n Fun.id)
+    @ (if allow_constants then [ Lattice.Zero; Lattice.One ] else [])
+  in
+  let alphabet = Array.of_list alphabet in
+  let k = Array.length alphabet in
+  let tried = ref 0 in
+  let exception Hit of Lattice.t in
+  let exception Out_of_budget in
+  (* enumerate assignments of [cells] sites as base-k counters *)
+  let try_dims (r, c) =
+    let cells = r * c in
+    let digits = Array.make cells 0 in
+    let grid () =
+      Array.init r (fun i ->
+          Array.init c (fun j -> alphabet.(digits.((i * c) + j))))
+    in
+    let rec bump i =
+      if i < 0 then false
+      else if digits.(i) + 1 < k then begin
+        digits.(i) <- digits.(i) + 1;
+        true
+      end
+      else begin
+        digits.(i) <- 0;
+        bump (i - 1)
+      end
+    in
+    let continue_ = ref true in
+    while !continue_ do
+      incr tried;
+      if !tried > budget then raise Out_of_budget;
+      let lattice = Lattice.make ~n_vars:(max n 1) (grid ()) in
+      if Checker.equivalent lattice f then raise (Hit lattice);
+      continue_ := bump (cells - 1)
+    done
+  in
+  let rec by_area area =
+    if area > max_area then Proved_larger max_area
+    else
+      match List.iter try_dims (dims_of_area area) with
+      | () -> by_area (area + 1)
+      | exception Hit lattice -> Found lattice
+  in
+  if k = 0 then
+    (* nullary function: only constants available *)
+    match L.Boolfunc.is_const f with
+    | Some b -> Found (Compose.of_const 1 b)
+    | None -> assert false
+  else
+    match by_area 1 with
+    | r -> r
+    | exception Out_of_budget -> Budget_exhausted
+
+let minimum_area ?max_area ?budget f =
+  match search ?max_area ?budget f with
+  | Found lattice -> Some (Lattice.area lattice)
+  | Proved_larger _ | Budget_exhausted -> None

@@ -1,0 +1,25 @@
+(** Conduction-path analysis.
+
+    A lattice computes the OR over its top-to-bottom paths of the AND
+    of the path's literals (Fig. 4).  This module makes that reading
+    executable: it enumerates the simple top-to-bottom paths, turns
+    each into a product cube, and rebuilds the SOP the lattice
+    implements — an independent second semantics used to cross-check
+    the connectivity evaluator, and a debugging aid that shows {e why}
+    a lattice computes what it computes. *)
+
+val path_products : ?max_paths:int -> Lattice.t -> Nxc_logic.Cube.t list
+(** Products of the simple top-to-bottom paths, single-cube-irredundant
+    (absorbed paths dropped).  Paths through a constant-0 site or
+    carrying contradictory literals are dropped; constant-1 sites
+    contribute no literal.  Stops with [Failure] after [max_paths]
+    simple paths (default 100_000) to bound the exponential worst
+    case. *)
+
+val to_cover : ?max_paths:int -> Lattice.t -> Nxc_logic.Cover.t
+(** The SOP the lattice implements, by path enumeration. *)
+
+val consistent : ?max_paths:int -> Lattice.t -> bool
+(** Path semantics equals connectivity semantics — the Altun–Riedel
+    reading of the fabric.  Checked by the test suite across the
+    synthesizers. *)

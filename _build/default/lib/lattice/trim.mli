@@ -1,0 +1,21 @@
+(** Post-synthesis lattice trimming.
+
+    The Altun–Riedel construction is optimal for its row/column product
+    structure, but composed lattices (decomposition, D-reduction,
+    padding) accumulate slack: whole rows or columns whose removal
+    leaves the computed function unchanged, and literal sites that can
+    be weakened to constants.  This pass greedily removes such slack,
+    re-checking functional equivalence after every candidate edit. *)
+
+val drop_row : Lattice.t -> int -> Lattice.t option
+(** [None] when the lattice has a single row. *)
+
+val drop_col : Lattice.t -> int -> Lattice.t option
+
+val trim : Lattice.t -> Nxc_logic.Boolfunc.t -> Lattice.t
+(** Greedy fixpoint of function-preserving row/column deletions and
+    site-to-constant weakenings.  The result is equivalent to [f]
+    (assuming the input was) and never larger. *)
+
+val trim_stats : Lattice.t -> Nxc_logic.Boolfunc.t -> Lattice.t * int
+(** Trimmed lattice and the number of sites removed. *)

@@ -1,0 +1,1 @@
+lib/logic/affine.ml: Array Boolfunc Fun List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/affine.mli: Boolfunc Truth_table

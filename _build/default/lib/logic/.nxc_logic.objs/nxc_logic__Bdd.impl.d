@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Array Cover Cube Hashtbl List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/boolfunc.ml: Format Printf Truth_table

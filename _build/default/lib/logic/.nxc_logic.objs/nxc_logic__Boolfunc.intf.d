@@ -1,0 +1,1 @@
+lib/logic/boolfunc.mli: Cover Format Truth_table

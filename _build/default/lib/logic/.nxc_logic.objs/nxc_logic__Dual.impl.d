@@ -1,0 +1,1 @@
+lib/logic/dual.ml: Boolfunc Cover Cube List Minimize Truth_table

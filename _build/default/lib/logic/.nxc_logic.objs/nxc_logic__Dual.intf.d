@@ -1,0 +1,1 @@
+lib/logic/dual.mli: Boolfunc Cover Truth_table

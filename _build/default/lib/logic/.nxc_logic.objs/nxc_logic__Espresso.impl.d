@@ -1,0 +1,1 @@
+lib/logic/espresso.ml: Cover Cube List Truth_table

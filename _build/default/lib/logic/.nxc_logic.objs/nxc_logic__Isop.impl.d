@@ -1,0 +1,1 @@
+lib/logic/isop.ml: Boolfunc Cover Cube List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/minimize.ml: Boolfunc Cover Espresso Isop List Qm Truth_table

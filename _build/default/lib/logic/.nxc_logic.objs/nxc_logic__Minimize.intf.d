@@ -1,0 +1,1 @@
+lib/logic/minimize.mli: Boolfunc Cover Truth_table

@@ -1,0 +1,1 @@
+lib/logic/parse.ml: Array Boolfunc Buffer Bytes Cover Cube Format Hashtbl List Printf String Truth_table

@@ -1,0 +1,1 @@
+lib/logic/pcircuit.ml: Boolfunc Cover Fun List Minimize Truth_table

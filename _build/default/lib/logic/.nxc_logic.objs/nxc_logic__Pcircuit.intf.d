@@ -1,0 +1,1 @@
+lib/logic/pcircuit.mli: Boolfunc Truth_table

@@ -1,0 +1,1 @@
+lib/logic/qm.ml: Array Boolfunc Cover Cube Hashtbl List Truth_table

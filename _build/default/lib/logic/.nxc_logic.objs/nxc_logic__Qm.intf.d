@@ -1,0 +1,1 @@
+lib/logic/qm.mli: Boolfunc Cover Cube Truth_table

@@ -1,0 +1,223 @@
+type t = Zero | One | Node of node
+and node = { id : int; var : int; lo : t; hi : t }
+
+type manager = {
+  unique : (int * int * int, t) Hashtbl.t;
+  (* (var, lo_id, hi_id) -> node *)
+  apply_cache : (int * int * int, t) Hashtbl.t;
+  (* (op_tag, id, id) -> result *)
+  mutable next_id : int;
+}
+
+let node_id = function Zero -> 0 | One -> 1 | Node n -> n.id
+
+let manager ?(cache_size = 1 lsl 14) () =
+  { unique = Hashtbl.create cache_size;
+    apply_cache = Hashtbl.create cache_size;
+    next_id = 2 }
+
+let zero _ = Zero
+let one _ = One
+
+let mk man var lo hi =
+  if lo == hi then lo
+  else
+    let key = (var, node_id lo, node_id hi) in
+    match Hashtbl.find_opt man.unique key with
+    | Some n -> n
+    | None ->
+        let n = Node { id = man.next_id; var; lo; hi } in
+        man.next_id <- man.next_id + 1;
+        Hashtbl.add man.unique key n;
+        n
+
+let var man i =
+  if i < 0 then invalid_arg "Bdd.var";
+  mk man i Zero One
+
+let top_var = function
+  | Zero | One -> max_int
+  | Node n -> n.var
+
+let cof u v b =
+  match u with
+  | Zero | One -> u
+  | Node n -> if n.var = v then (if b then n.hi else n.lo) else u
+
+(* op tags for the shared apply cache *)
+let tag_and = 0
+let tag_or = 1
+let tag_xor = 2
+let tag_not = 3
+
+let rec apply man tag a b =
+  match tag_terminal tag a b with
+  | Some r -> r
+  | None -> (
+      let key = (tag, node_id a, node_id b) in
+      match Hashtbl.find_opt man.apply_cache key with
+      | Some r -> r
+      | None ->
+          let v = min (top_var a) (top_var b) in
+          let lo = apply man tag (cof a v false) (cof b v false)
+          and hi = apply man tag (cof a v true) (cof b v true) in
+          let r = mk man v lo hi in
+          Hashtbl.add man.apply_cache key r;
+          r)
+
+and tag_terminal tag a b =
+  match tag with
+  | 0 -> (
+      match (a, b) with
+      | Zero, _ | _, Zero -> Some Zero
+      | One, x | x, One -> Some x
+      | _ -> if a == b then Some a else None)
+  | 1 -> (
+      match (a, b) with
+      | One, _ | _, One -> Some One
+      | Zero, x | x, Zero -> Some x
+      | _ -> if a == b then Some a else None)
+  | 2 -> (
+      match (a, b) with
+      | Zero, x | x, Zero -> Some x
+      | One, One -> Some Zero
+      | _ -> if a == b then Some Zero else None)
+  | _ -> None
+
+let band man a b = apply man tag_and a b
+let bor man a b = apply man tag_or a b
+let bxor man a b = apply man tag_xor a b
+
+let rec bnot man a =
+  match a with
+  | Zero -> One
+  | One -> Zero
+  | Node n -> (
+      let key = (tag_not, n.id, n.id) in
+      match Hashtbl.find_opt man.apply_cache key with
+      | Some r -> r
+      | None ->
+          let r = mk man n.var (bnot man n.lo) (bnot man n.hi) in
+          Hashtbl.add man.apply_cache key r;
+          r)
+
+let ite man c t e = bor man (band man c t) (band man (bnot man c) e)
+
+let rec restrict man u v b =
+  match u with
+  | Zero | One -> u
+  | Node n ->
+      if n.var > v then u
+      else if n.var = v then if b then n.hi else n.lo
+      else mk man n.var (restrict man n.lo v b) (restrict man n.hi v b)
+
+let equal a b = a == b
+
+let is_const = function
+  | Zero -> Some false
+  | One -> Some true
+  | Node _ -> None
+
+let rec eval u x =
+  match u with
+  | Zero -> false
+  | One -> true
+  | Node n -> eval (if x.(n.var) then n.hi else n.lo) x
+
+let satcount man u ~n =
+  ignore man;
+  let cache = Hashtbl.create 64 in
+  (* counts over the variable interval [v, n) *)
+  let rec count u v =
+    match u with
+    | Zero -> 0
+    | One -> 1 lsl (n - v)
+    | Node nd -> (
+        let key = (nd.id, v) in
+        match Hashtbl.find_opt cache key with
+        | Some c -> c
+        | None ->
+            let below = count nd.lo (nd.var + 1) + count nd.hi (nd.var + 1) in
+            let c = below * (1 lsl (nd.var - v)) in
+            Hashtbl.add cache key c;
+            c)
+  in
+  if n < 0 then invalid_arg "Bdd.satcount";
+  count u 0
+
+let any_sat u ~n =
+  ignore n;
+  let rec go u acc =
+    match u with
+    | Zero -> None
+    | One -> Some acc
+    | Node nd -> (
+        match go nd.hi (acc lor (1 lsl nd.var)) with
+        | Some m -> Some m
+        | None -> go nd.lo acc)
+  in
+  go u 0
+
+let support u =
+  let seen = Hashtbl.create 16 and vars = Hashtbl.create 16 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node n ->
+        if not (Hashtbl.mem seen n.id) then begin
+          Hashtbl.add seen n.id ();
+          Hashtbl.replace vars n.var ();
+          go n.lo;
+          go n.hi
+        end
+  in
+  go u;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort compare
+
+let of_truth_table man tt =
+  let n = Truth_table.n_vars tt in
+  (* build bottom-up over the minterm interval structure *)
+  let rec build v base =
+    if v = n then if Truth_table.eval_int tt base then One else Zero
+    else
+      let lo = build (v + 1) base
+      and hi = build (v + 1) (base lor (1 lsl v)) in
+      mk man v lo hi
+  in
+  build 0 0
+
+let of_cover man c =
+  let n = Cover.n_vars c in
+  ignore n;
+  List.fold_left
+    (fun acc cube ->
+      let prod =
+        List.fold_left
+          (fun p (v, pol) ->
+            let lit =
+              match (pol : Cube.polarity) with
+              | Pos -> var man v
+              | Neg -> bnot man (var man v)
+            in
+            band man p lit)
+          One (Cube.literals cube)
+      in
+      bor man acc prod)
+    Zero (Cover.cubes c)
+
+let to_truth_table u ~n =
+  Truth_table.of_fun n (fun x ->
+      (* pad the assignment array up to the highest variable used *)
+      eval u x)
+
+let size u =
+  let seen = Hashtbl.create 64 in
+  let rec go acc = function
+    | Zero | One -> acc
+    | Node n ->
+        if Hashtbl.mem seen n.id then acc
+        else begin
+          Hashtbl.add seen n.id ();
+          go (go (acc + 1) n.lo) n.hi
+        end
+  in
+  go 0 u

@@ -1,0 +1,55 @@
+(** Reduced ordered binary decision diagrams.
+
+    Hash-consed ROBDDs with the natural variable order [0 < 1 < ...].
+    Used as the scalable equivalence / analysis backend when dense truth
+    tables become too large, and by the BDD-based ISOP variant.
+
+    All nodes live in an explicit manager so that independent computations
+    do not share mutable global state. *)
+
+type manager
+
+type t
+(** A BDD node handle, tied to the manager that created it. *)
+
+val manager : ?cache_size:int -> unit -> manager
+
+val zero : manager -> t
+val one : manager -> t
+
+val var : manager -> int -> t
+(** The projection function of variable [i] (0-based). *)
+
+val bnot : manager -> t -> t
+val band : manager -> t -> t -> t
+val bor : manager -> t -> t -> t
+val bxor : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor with respect to one variable. *)
+
+val equal : t -> t -> bool
+(** Constant-time semantic equality (hash consing invariant). *)
+
+val is_const : t -> bool option
+
+val eval : t -> bool array -> bool
+
+val satcount : manager -> t -> n:int -> int
+(** Number of satisfying assignments over [n] variables.  [n] must be at
+    least the highest variable index + 1. *)
+
+val any_sat : t -> n:int -> int option
+(** One satisfying minterm (encoded), if any. *)
+
+val support : t -> int list
+
+val of_truth_table : manager -> Truth_table.t -> t
+
+val of_cover : manager -> Cover.t -> t
+
+val to_truth_table : t -> n:int -> Truth_table.t
+
+val size : t -> int
+(** Number of distinct internal nodes. *)

@@ -1,0 +1,104 @@
+type t = { len : int; data : Bytes.t }
+
+let bytes_needed len = (len + 7) / 8
+
+let create len init =
+  if len < 0 then invalid_arg "Bitvec.create";
+  { len; data = Bytes.make (bytes_needed len) (if init then '\xff' else '\x00') }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
+
+let get v i =
+  check v i;
+  Char.code (Bytes.unsafe_get v.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set v i b =
+  check v i;
+  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
+  let old = Char.code (Bytes.unsafe_get v.data byte) in
+  let updated = if b then old lor bit else old land lnot bit in
+  Bytes.unsafe_set v.data byte (Char.unsafe_chr (updated land 0xff))
+
+let copy v = { v with data = Bytes.copy v.data }
+
+(* Bits past [len] in the last byte are kept normalized to zero so that
+   byte-level comparison and popcount are exact. *)
+let normalize v =
+  let rem = v.len land 7 in
+  if rem <> 0 && v.len > 0 then begin
+    let last = bytes_needed v.len - 1 in
+    let m = (1 lsl rem) - 1 in
+    Bytes.set v.data last
+      (Char.chr (Char.code (Bytes.get v.data last) land m))
+  end;
+  v
+
+let create len init = normalize (create len init)
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let popcount v =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte c) v.data;
+  !acc
+
+let is_all b v = popcount v = if b then v.len else 0
+
+let init len f =
+  let v = create len false in
+  for i = 0 to len - 1 do
+    if f i then set v i true
+  done;
+  v
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (get v i)
+  done
+
+let fold_true f v acc =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    if get v i then acc := f i !acc
+  done;
+  !acc
+
+let map2 f a b =
+  if a.len <> b.len then invalid_arg "Bitvec.map2: length mismatch";
+  init a.len (fun i -> f (get a i) (get b i))
+
+let byte_op f a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch";
+  let n = Bytes.length a.data in
+  let data = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set data i
+      (Char.unsafe_chr
+         (f (Char.code (Bytes.unsafe_get a.data i))
+            (Char.code (Bytes.unsafe_get b.data i))
+          land 0xff))
+  done;
+  normalize { len = a.len; data }
+
+let lnot v =
+  let data = Bytes.map (fun c -> Char.chr (Char.code c lxor 0xff)) v.data in
+  normalize { len = v.len; data }
+
+let land_ = byte_op ( land )
+let lor_ = byte_op ( lor )
+let lxor_ = byte_op ( lxor )
+
+let pp ppf v =
+  for i = 0 to v.len - 1 do
+    Format.pp_print_char ppf (if get v i then '1' else '0')
+  done

@@ -1,0 +1,47 @@
+(** Packed bit vectors.
+
+    Backing store for truth tables and defect masks.  Bits are indexed
+    from [0] to [length - 1]; out-of-range access raises
+    [Invalid_argument]. *)
+
+type t
+
+val create : int -> bool -> t
+(** [create len init] is a vector of [len] bits, all equal to [init]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val is_all : bool -> t -> bool
+(** [is_all b v] is true when every bit of [v] equals [b]. *)
+
+val init : int -> (int -> bool) -> t
+
+val iteri : (int -> bool -> unit) -> t -> unit
+
+val fold_true : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over the indices of set bits, in increasing order. *)
+
+val map2 : (bool -> bool -> bool) -> t -> t -> t
+(** Pointwise combination; the vectors must have equal length. *)
+
+val lnot : t -> t
+
+val land_ : t -> t -> t
+
+val lor_ : t -> t -> t
+
+val lxor_ : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Bits as a ['0'/'1'] string, index 0 leftmost. *)

@@ -1,0 +1,15 @@
+let table = Truth_table.dual
+
+let func = Boolfunc.dual
+
+let cover c =
+  let tt = Truth_table.dual (Truth_table.of_cover c) in
+  Minimize.sop_table tt
+
+let is_self_dual f = Truth_table.is_self_dual (Boolfunc.table f)
+
+let check_sharing f_cover d_cover =
+  List.for_all
+    (fun p ->
+      List.for_all (fun q -> Cube.shares_literal p q) (Cover.cubes d_cover))
+    (Cover.cubes f_cover)

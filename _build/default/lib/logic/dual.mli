@@ -1,0 +1,27 @@
+(** Boolean duality.
+
+    f{^D}(x{_1}, ..., x{_n}) = NOT f(NOT x{_1}, ..., NOT x{_n}).
+
+    Duality drives both two- and four-terminal synthesis: the FET array
+    needs products of [f] and [f{^D}] (Fig. 3) and the Altun–Riedel
+    lattice is a products-of-[f] by products-of-[f{^D}] grid (Fig. 5).
+    The key structural fact, proved in Altun–Riedel (IEEE TC 2012) and
+    re-checked by this module's tests, is that {e every} product of any
+    SOP of [f] shares a literal with every product of any SOP of
+    [f{^D}]. *)
+
+val table : Truth_table.t -> Truth_table.t
+
+val func : Boolfunc.t -> Boolfunc.t
+
+val cover : Cover.t -> Cover.t
+(** De Morgan dual of a cover: swap AND/OR and re-minimize.  The result
+    is an SOP of the dual function. *)
+
+val is_self_dual : Boolfunc.t -> bool
+
+val check_sharing : Cover.t -> Cover.t -> bool
+(** [check_sharing f_cover d_cover] verifies the duality sharing lemma:
+    every cube of the first cover shares a same-polarity literal with
+    every cube of the second.  Holds whenever the covers denote a
+    function and its dual (unless one side is constant). *)

@@ -1,0 +1,120 @@
+type cost = { cubes : int; literals : int }
+
+let cost_of c = { cubes = Cover.num_cubes c; literals = Cover.num_literals c }
+
+let compare_cost a b =
+  let c = compare a.cubes b.cubes in
+  if c <> 0 then c else compare a.literals b.literals
+
+let with_dc ?dc cover =
+  match dc with None -> cover | Some d -> Cover.union cover d
+
+(* EXPAND: raise each cube to a prime of on+dc by freeing literals one
+   at a time (largest-first processing order helps absorption). *)
+let expand ?dc cover =
+  let n = Cover.n_vars cover in
+  let care = with_dc ?dc cover in
+  let expand_cube c =
+    let rec go c =
+      let candidates =
+        List.filter_map
+          (fun (v, _) ->
+            let freed =
+              Cube.of_literals n
+                (List.filter (fun (v', _) -> v' <> v) (Cube.literals c))
+            in
+            if Cover.covers_cube care freed then Some freed else None)
+          (Cube.literals c)
+      in
+      (* take the candidate freeing the most useful literal: any one
+         works, recursion continues until prime *)
+      match candidates with [] -> c | freed :: _ -> go freed
+    in
+    go c
+  in
+  let expanded = List.map expand_cube (Cover.cubes cover) in
+  Cover.single_cube_containment (Cover.make n expanded)
+
+(* IRREDUNDANT relative to the ON-set only: a cube is dropped when the
+   remaining cubes plus the DC set still cover it. *)
+let irredundant ?dc cover =
+  let n = Cover.n_vars cover in
+  let rec go kept = function
+    | [] -> Cover.make n (List.rev kept)
+    | c :: rest ->
+        let others =
+          with_dc ?dc (Cover.make n (List.rev_append kept rest))
+        in
+        if Cover.covers_cube others c then go kept rest else go (c :: kept) rest
+  in
+  go [] (Cover.cubes cover)
+
+(* supercube of a cover: per variable, keep a literal only when every
+   cube constrains it with the same polarity *)
+let supercube n cubes =
+  match cubes with
+  | [] -> None
+  | first :: rest ->
+      let lits =
+        List.filter
+          (fun (v, p) ->
+            List.for_all (fun c -> Cube.polarity_of c v = Some p) rest)
+          (Cube.literals first)
+      in
+      Some (Cube.of_literals n lits)
+
+(* REDUCE: shrink a cube to the supercube of the part of it no other
+   cube (nor the DC set) covers. *)
+let reduce ?dc cover =
+  let n = Cover.n_vars cover in
+  let reduce_cube others c =
+    let blockers = with_dc ?dc others in
+    (* region of c not covered by the others: complement of the
+       cofactor, re-anchored inside c *)
+    let remainder = Cover.complement (Cover.cube_cofactor blockers c) in
+    match supercube n (Cover.cubes remainder) with
+    | None -> None (* fully covered elsewhere: drop *)
+    | Some s -> Cube.intersect c s
+  in
+  (* sequential: each cube is reduced against the already-reduced
+     prefix plus the untouched suffix, so a shared minterm can be given
+     up by at most all-but-one of its owners *)
+  let rec go done_ = function
+    | [] -> List.rev done_
+    | c :: rest ->
+        let others = Cover.make n (List.rev_append done_ rest) in
+        (match reduce_cube others c with
+        | None -> go done_ rest
+        | Some c' -> go (c' :: done_) rest)
+  in
+  Cover.make n (go [] (Cover.cubes cover))
+
+let minimize ?dc ?(max_rounds = 8) cover =
+  let semantics = Truth_table.of_cover cover in
+  let best = ref (irredundant ?dc (expand ?dc cover)) in
+  let best_cost = ref (cost_of !best) in
+  let current = ref !best in
+  (try
+     for _ = 2 to max_rounds do
+       let next = irredundant ?dc (expand ?dc (reduce ?dc !current)) in
+       let c = cost_of next in
+       if compare_cost c !best_cost >= 0 then raise Exit;
+       best := next;
+       best_cost := c;
+       current := next
+     done
+   with Exit -> ());
+  (* the loop must preserve the ON-set (and may only add DC minterms) *)
+  let result_tt = Truth_table.of_cover !best in
+  assert (Truth_table.implies semantics result_tt);
+  assert (
+    match dc with
+    | None -> Truth_table.equal result_tt semantics
+    | Some d ->
+        Truth_table.implies result_tt
+          (Truth_table.bor semantics (Truth_table.of_cover d)));
+  !best
+
+let minimize_table ?max_rounds tt =
+  let n = Truth_table.n_vars tt in
+  minimize ?max_rounds (Cover.of_minterms n (Truth_table.minterms tt))

@@ -1,0 +1,29 @@
+type method_ = Exact | Heuristic | Espresso_loop | Auto
+
+let exact_threshold_vars = 8
+
+let sop_table ?(method_ = Auto) tt =
+  let n = Truth_table.n_vars tt in
+  let exact () = fst (Qm.minimize_table tt) in
+  let heuristic () = Isop.isop tt in
+  let cover =
+    match method_ with
+    | Exact -> exact ()
+    | Heuristic -> heuristic ()
+    | Espresso_loop -> Espresso.minimize (heuristic ())
+    | Auto -> if n <= exact_threshold_vars then exact () else heuristic ()
+  in
+  assert (Truth_table.equal (Truth_table.of_cover cover) tt);
+  cover
+
+let sop ?method_ f = sop_table ?method_ (Boolfunc.table f)
+
+let dual_sop ?method_ f = sop ?method_ (Boolfunc.dual f)
+
+let verify cover f =
+  Truth_table.equal (Truth_table.of_cover cover) (Boolfunc.table f)
+
+let num_products ?method_ f = Cover.num_cubes (sop ?method_ f)
+
+let num_distinct_literals ?method_ f =
+  List.length (Cover.distinct_literals (sop ?method_ f))

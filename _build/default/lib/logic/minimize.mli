@@ -1,0 +1,34 @@
+(** Front door to two-level minimization.
+
+    The synthesis procedures of the paper consume SOP covers; this
+    module picks a minimizer appropriate to the instance size:
+    exact Quine–McCluskey for small functions, Minato–Morreale ISOP
+    otherwise. *)
+
+type method_ =
+  | Exact  (** Quine–McCluskey with exact covering *)
+  | Heuristic  (** Minato–Morreale ISOP *)
+  | Espresso_loop  (** ISOP followed by the espresso improvement loop *)
+  | Auto
+
+val sop : ?method_:method_ -> Boolfunc.t -> Cover.t
+(** A (near-)minimal SOP cover of the function.  With [Auto] (default),
+    functions with at most {!exact_threshold_vars} variables go through
+    the exact minimizer, the rest through ISOP.  The result always
+    satisfies [Cover ≡ f] (checked internally in debug builds via
+    assertions). *)
+
+val exact_threshold_vars : int
+
+val sop_table : ?method_:method_ -> Truth_table.t -> Cover.t
+
+val dual_sop : ?method_:method_ -> Boolfunc.t -> Cover.t
+(** SOP of the dual f{^D}: the second ingredient of the FET-array and
+    lattice size formulas. *)
+
+val verify : Cover.t -> Boolfunc.t -> bool
+(** Exhaustive equivalence between a cover and a function. *)
+
+val num_products : ?method_:method_ -> Boolfunc.t -> int
+
+val num_distinct_literals : ?method_:method_ -> Boolfunc.t -> int

@@ -1,0 +1,366 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Expression syntax                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tvar of int (* 0-based *)
+  | Tconst of bool
+  | Tplus
+  | Tstar
+  | Txor
+  | Tnot (* prefix ~ *)
+  | Tprime (* postfix ' *)
+  | Tlpar
+  | Trpar
+
+let tokenize s =
+  let toks = ref [] in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    let c = s.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> ()
+    | '+' -> toks := Tplus :: !toks
+    | '*' | '.' | '&' -> toks := Tstar :: !toks
+    | '^' -> toks := Txor :: !toks
+    | '~' | '!' -> toks := Tnot :: !toks
+    | '\'' -> toks := Tprime :: !toks
+    | '(' -> toks := Tlpar :: !toks
+    | ')' -> toks := Trpar :: !toks
+    | '0' -> toks := Tconst false :: !toks
+    | '1' -> toks := Tconst true :: !toks
+    | 'x' | 'X' ->
+        let j = ref (!i + 1) in
+        while !j < len && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        if !j = !i + 1 then fail "variable needs an index at position %d" !i;
+        let idx = int_of_string (String.sub s (!i + 1) (!j - !i - 1)) in
+        if idx < 1 then fail "variables are 1-based";
+        toks := Tvar (idx - 1) :: !toks;
+        i := !j - 1
+    | c -> fail "unexpected character %c" c);
+    incr i
+  done;
+  List.rev !toks
+
+(* AST *)
+type ast =
+  | Var of int
+  | Const of bool
+  | Not of ast
+  | And of ast * ast
+  | Or of ast * ast
+  | Xor of ast * ast
+
+(* grammar: or := xor (+ xor)* ; xor := and (^ and)* ;
+   and := unary (unary | * unary)* ; unary := ~ unary | atom '* ;
+   atom := var | const | ( or ) *)
+let parse_tokens toks =
+  let toks = ref toks in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let rec p_or () =
+    let a = ref (p_xor ()) in
+    let rec loop () =
+      match peek () with
+      | Some Tplus ->
+          advance ();
+          a := Or (!a, p_xor ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !a
+  and p_xor () =
+    let a = ref (p_and ()) in
+    let rec loop () =
+      match peek () with
+      | Some Txor ->
+          advance ();
+          a := Xor (!a, p_and ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !a
+  and p_and () =
+    let a = ref (p_unary ()) in
+    let rec loop () =
+      match peek () with
+      | Some Tstar ->
+          advance ();
+          a := And (!a, p_unary ());
+          loop ()
+      | Some (Tvar _ | Tconst _ | Tnot | Tlpar) ->
+          a := And (!a, p_unary ());
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !a
+  and p_unary () =
+    match peek () with
+    | Some Tnot ->
+        advance ();
+        Not (p_unary ())
+    | _ -> p_postfix (p_atom ())
+  and p_postfix a =
+    match peek () with
+    | Some Tprime ->
+        advance ();
+        p_postfix (Not a)
+    | _ -> a
+  and p_atom () =
+    match peek () with
+    | Some (Tvar v) ->
+        advance ();
+        Var v
+    | Some (Tconst b) ->
+        advance ();
+        Const b
+    | Some Tlpar ->
+        advance ();
+        let a = p_or () in
+        (match peek () with
+        | Some Trpar -> advance ()
+        | _ -> fail "missing closing parenthesis");
+        a
+    | _ -> fail "expected a variable, constant or parenthesis"
+  in
+  let a = p_or () in
+  if !toks <> [] then fail "trailing tokens";
+  a
+
+let rec max_var = function
+  | Var v -> v + 1
+  | Const _ -> 0
+  | Not a -> max_var a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> max (max_var a) (max_var b)
+
+let rec eval_ast a m =
+  match a with
+  | Var v -> m land (1 lsl v) <> 0
+  | Const b -> b
+  | Not a -> not (eval_ast a m)
+  | And (a, b) -> eval_ast a m && eval_ast b m
+  | Or (a, b) -> eval_ast a m || eval_ast b m
+  | Xor (a, b) -> eval_ast a m <> eval_ast b m
+
+let expr ?n s =
+  let ast = parse_tokens (tokenize s) in
+  let n =
+    match n with
+    | Some n ->
+        if n < max_var ast then fail "forced arity smaller than used variables";
+        n
+    | None -> max_var ast
+  in
+  Boolfunc.of_fun_int ~name:s n (eval_ast ast)
+
+let expr_cover ?n s =
+  let ast = parse_tokens (tokenize s) in
+  let arity =
+    match n with
+    | Some n ->
+        if n < max_var ast then fail "forced arity smaller than used variables";
+        n
+    | None -> max_var ast
+  in
+  (* flatten OR of AND of (possibly negated) vars; anything else is
+     rejected so the products are preserved exactly *)
+  let rec sum acc = function
+    | Or (a, b) -> sum (sum acc b) a
+    | t -> t :: acc
+  in
+  let rec prod acc = function
+    | And (a, b) -> prod (prod acc b) a
+    | Var v -> (v, Cube.Pos) :: acc
+    | Not (Var v) -> (v, Cube.Neg) :: acc
+    | Const true when acc = [] -> acc
+    | _ -> fail "expr_cover: not in sum-of-products form"
+  in
+  let terms = sum [] ast in
+  let cubes =
+    List.filter_map
+      (fun t ->
+        match t with
+        | Const false -> None
+        | t -> Some (Cube.of_literals arity (prod [] t)))
+      terms
+  in
+  Cover.make arity cubes
+
+(* ------------------------------------------------------------------ *)
+(* PLA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type pla = {
+  inputs : int;
+  outputs : int;
+  input_labels : string list option;
+  output_labels : string list option;
+  on_sets : Cover.t array;
+  dc_sets : Cover.t array;
+}
+
+let pla_of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l >= 1 && l.[0] = '#'))
+  in
+  let inputs = ref None
+  and outputs = ref None
+  and ilb = ref None
+  and olb = ref None in
+  let rows = ref [] in
+  let directive line =
+    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+    | ".i" :: v :: _ -> inputs := Some (int_of_string v)
+    | ".o" :: v :: _ -> outputs := Some (int_of_string v)
+    | ".p" :: _ | ".type" :: _ -> ()
+    | ".ilb" :: names -> ilb := Some names
+    | ".ob" :: names -> olb := Some names
+    | ".e" :: _ | ".end" :: _ -> ()
+    | d :: _ -> fail "unknown PLA directive %s" d
+    | [] -> ()
+  in
+  List.iter
+    (fun line ->
+      if line.[0] = '.' then directive line
+      else rows := line :: !rows)
+    lines;
+  let ni = match !inputs with Some n -> n | None -> fail "missing .i" in
+  let no = match !outputs with Some n -> n | None -> fail "missing .o" in
+  let on = Array.make no [] and dc = Array.make no [] in
+  List.iter
+    (fun row ->
+      let parts =
+        String.split_on_char ' ' row |> List.filter (( <> ) "")
+      in
+      let ipart, opart =
+        match parts with
+        | [ i; o ] -> (i, o)
+        | [ io ] when String.length io = ni + no ->
+            (String.sub io 0 ni, String.sub io ni no)
+        | _ -> fail "malformed PLA row %S" row
+      in
+      if String.length ipart <> ni then fail "bad input part %S" ipart;
+      if String.length opart <> no then fail "bad output part %S" opart;
+      let lits = ref [] in
+      String.iteri
+        (fun i c ->
+          match c with
+          | '1' -> lits := (i, Cube.Pos) :: !lits
+          | '0' -> lits := (i, Cube.Neg) :: !lits
+          | '-' | '2' -> ()
+          | c -> fail "bad input character %c" c)
+        ipart;
+      let cube = Cube.of_literals ni !lits in
+      String.iteri
+        (fun o c ->
+          match c with
+          | '1' | '4' -> on.(o) <- cube :: on.(o)
+          | '0' -> ()
+          | '-' | '~' | '2' | '3' -> dc.(o) <- cube :: dc.(o)
+          | c -> fail "bad output character %c" c)
+        opart)
+    (List.rev !rows);
+  { inputs = ni;
+    outputs = no;
+    input_labels = !ilb;
+    output_labels = !olb;
+    on_sets = Array.map (fun cs -> Cover.make ni cs) on;
+    dc_sets = Array.map (fun cs -> Cover.make ni cs) dc }
+
+let cube_to_pla_input n c =
+  String.init n (fun i ->
+      match Cube.polarity_of c i with
+      | None -> '-'
+      | Some Pos -> '1'
+      | Some Neg -> '0')
+
+let pla_to_string p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" p.inputs p.outputs);
+  (match p.input_labels with
+  | Some names ->
+      Buffer.add_string buf (".ilb " ^ String.concat " " names ^ "\n")
+  | None -> ());
+  (match p.output_labels with
+  | Some names ->
+      Buffer.add_string buf (".ob " ^ String.concat " " names ^ "\n")
+  | None -> ());
+  (* group rows by input cube so shared products print once *)
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun o cover ->
+      List.iter
+        (fun c ->
+          let cur =
+            match Hashtbl.find_opt tbl c with
+            | Some s -> s
+            | None ->
+                let s = Bytes.make p.outputs '0' in
+                Hashtbl.add tbl c s;
+                s
+          in
+          Bytes.set cur o '1')
+        (Cover.cubes cover))
+    p.on_sets;
+  Array.iteri
+    (fun o cover ->
+      List.iter
+        (fun c ->
+          let cur =
+            match Hashtbl.find_opt tbl c with
+            | Some s -> s
+            | None ->
+                let s = Bytes.make p.outputs '0' in
+                Hashtbl.add tbl c s;
+                s
+          in
+          Bytes.set cur o '-')
+        (Cover.cubes cover))
+    p.dc_sets;
+  let rows =
+    Hashtbl.fold
+      (fun c out acc -> (cube_to_pla_input p.inputs c, Bytes.to_string out) :: acc)
+      tbl []
+    |> List.sort compare
+  in
+  Buffer.add_string buf (Printf.sprintf ".p %d\n" (List.length rows));
+  List.iter
+    (fun (i, o) -> Buffer.add_string buf (i ^ " " ^ o ^ "\n"))
+    rows;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf
+
+let pla_of_functions fs =
+  match fs with
+  | [] -> invalid_arg "Parse.pla_of_functions: empty"
+  | f0 :: _ ->
+      let n = Boolfunc.n_vars f0 in
+      List.iter
+        (fun f ->
+          if Boolfunc.n_vars f <> n then
+            invalid_arg "Parse.pla_of_functions: arity mismatch")
+        fs;
+      let covers =
+        List.map
+          (fun f ->
+            Cover.of_minterms n (Truth_table.minterms (Boolfunc.table f)))
+          fs
+      in
+      { inputs = n;
+        outputs = List.length fs;
+        input_labels = None;
+        output_labels = Some (List.map Boolfunc.name fs);
+        on_sets = Array.of_list covers;
+        dc_sets = Array.of_list (List.map (fun _ -> Cover.bottom n) fs) }

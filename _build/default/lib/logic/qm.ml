@@ -1,0 +1,158 @@
+let primes ~n ~on ~dc =
+  let care = List.sort_uniq compare (on @ dc) in
+  (* level sets of implicants as cubes; merge cubes at Hamming distance 1
+     with equal masks until a fixpoint *)
+  let current = ref (List.map (Cube.of_minterm n) care) in
+  let prime_acc = ref [] in
+  let continue_ = ref (!current <> []) in
+  while !continue_ do
+    let merged_flag = Hashtbl.create 64 in
+    let next = Hashtbl.create 64 in
+    let arr = Array.of_list !current in
+    let k = Array.length arr in
+    (* bucket by popcount of positive bits to limit the pair scan *)
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        match Cube.merge arr.(i) arr.(j) with
+        | Some m ->
+            Hashtbl.replace next m ();
+            Hashtbl.replace merged_flag (Cube.hash arr.(i), arr.(i)) ();
+            Hashtbl.replace merged_flag (Cube.hash arr.(j), arr.(j)) ()
+        | None -> ()
+      done
+    done;
+    Array.iter
+      (fun c ->
+        if not (Hashtbl.mem merged_flag (Cube.hash c, c)) then
+          prime_acc := c :: !prime_acc)
+      arr;
+    current := Hashtbl.fold (fun c () acc -> c :: acc) next [];
+    continue_ := !current <> []
+  done;
+  List.sort_uniq Cube.compare !prime_acc
+
+type stats = { num_primes : int; num_essential : int; exact : bool }
+
+(* Branch and bound over the covering problem: minimize the number of
+   chosen primes covering all ON minterms.  [budget] caps explored
+   nodes. *)
+let cover_exact primes_arr on_list budget =
+  let nodes = ref 0 in
+  let best = ref None in
+  let best_size = ref max_int in
+  let n_primes = Array.length primes_arr in
+  (* for each minterm, the primes covering it *)
+  let covering = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      let who = ref [] in
+      for i = n_primes - 1 downto 0 do
+        if Cube.eval_int primes_arr.(i) m then who := i :: !who
+      done;
+      Hashtbl.replace covering m !who)
+    on_list;
+  let exception Budget in
+  let rec go chosen n_chosen uncovered =
+    incr nodes;
+    if !nodes > budget then raise Budget;
+    match uncovered with
+    | [] ->
+        if n_chosen < !best_size then begin
+          best_size := n_chosen;
+          best := Some chosen
+        end
+    | m :: _rest ->
+        if n_chosen + 1 >= !best_size then () (* bound *)
+        else
+          let candidates = Hashtbl.find covering m in
+          List.iter
+            (fun i ->
+              let uncovered' =
+                List.filter
+                  (fun m' -> not (Cube.eval_int primes_arr.(i) m'))
+                  uncovered
+              in
+              go (i :: chosen) (n_chosen + 1) uncovered')
+            candidates
+  in
+  match go [] 0 on_list with
+  | () -> (!best, true)
+  | exception Budget -> (!best, false)
+
+let greedy_cover primes_arr on_list =
+  let uncovered = ref on_list in
+  let chosen = ref [] in
+  while !uncovered <> [] do
+    let best_i = ref (-1) and best_gain = ref (-1) in
+    Array.iteri
+      (fun i p ->
+        let gain =
+          List.fold_left
+            (fun acc m -> if Cube.eval_int p m then acc + 1 else acc)
+            0 !uncovered
+        in
+        if gain > !best_gain then begin
+          best_gain := gain;
+          best_i := i
+        end)
+      primes_arr;
+    let p = primes_arr.(!best_i) in
+    chosen := !best_i :: !chosen;
+    uncovered := List.filter (fun m -> not (Cube.eval_int p m)) !uncovered
+  done;
+  !chosen
+
+let minimize ?(dc = []) ?(budget = 200_000) ~n on =
+  let on = List.sort_uniq compare on in
+  if on = [] then (Cover.bottom n, { num_primes = 0; num_essential = 0; exact = true })
+  else
+    let ps = primes ~n ~on ~dc in
+    let primes_arr = Array.of_list ps in
+    (* essential primes: sole cover of some ON minterm *)
+    let essential = Hashtbl.create 16 in
+    List.iter
+      (fun m ->
+        let who = ref [] in
+        Array.iteri
+          (fun i p -> if Cube.eval_int p m then who := i :: !who)
+          primes_arr;
+        match !who with
+        | [ i ] -> Hashtbl.replace essential i ()
+        | _ -> ())
+      on;
+    let essential_idx = Hashtbl.fold (fun i () acc -> i :: acc) essential [] in
+    let covered m =
+      List.exists (fun i -> Cube.eval_int primes_arr.(i) m) essential_idx
+    in
+    let remaining = List.filter (fun m -> not (covered m)) on in
+    let rest_primes =
+      Array.of_list
+        (List.filteri
+           (fun i _ -> not (Hashtbl.mem essential i))
+           (Array.to_list primes_arr))
+    in
+    let rest_choice, exact =
+      if remaining = [] then (Some [], true)
+      else
+        match cover_exact rest_primes remaining budget with
+        | Some sol, ex -> (Some sol, ex)
+        | None, _ -> (Some (greedy_cover rest_primes remaining), false)
+    in
+    let rest_cubes =
+      match rest_choice with
+      | Some idxs -> List.map (fun i -> rest_primes.(i)) idxs
+      | None -> []
+    in
+    let cubes =
+      List.map (fun i -> primes_arr.(i)) essential_idx @ rest_cubes
+    in
+    ( Cover.make n cubes,
+      { num_primes = Array.length primes_arr;
+        num_essential = List.length essential_idx;
+        exact } )
+
+let minimize_table ?budget tt =
+  let n = Truth_table.n_vars tt in
+  minimize ?budget ~n (Truth_table.minterms tt)
+
+let minimize_func ?budget f = minimize_table ?budget (Boolfunc.table f)

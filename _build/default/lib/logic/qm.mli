@@ -1,0 +1,27 @@
+(** Exact two-level minimization (Quine–McCluskey).
+
+    Prime implicant generation by iterative merging, then a covering
+    step: essential primes first, remaining minterms by branch-and-bound
+    (exact, with a node budget) falling back to greedy set cover when
+    the budget is exhausted. *)
+
+val primes : n:int -> on:int list -> dc:int list -> Cube.t list
+(** All prime implicants of the function given by ON-set and DC-set
+    minterms. *)
+
+type stats = {
+  num_primes : int;
+  num_essential : int;
+  exact : bool;  (** false when the covering step fell back to greedy *)
+}
+
+val minimize :
+  ?dc:int list -> ?budget:int -> n:int -> int list -> Cover.t * stats
+(** [minimize ~n on] is a minimum (or near-minimum, see
+    {!field-stats.exact}) cover of the ON-set minterms using the DC-set
+    freely.  [budget] bounds the branch-and-bound node count (default
+    200_000). *)
+
+val minimize_table : ?budget:int -> Truth_table.t -> Cover.t * stats
+
+val minimize_func : ?budget:int -> Boolfunc.t -> Cover.t * stats

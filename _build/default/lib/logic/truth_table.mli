@@ -1,0 +1,94 @@
+(** Dense truth tables.
+
+    The reference semantic representation for functions of up to
+    [max_vars] variables.  Index [m]'s bit [i] is the value of variable
+    [i] ([x{_i+1}] in the paper's 1-based notation). *)
+
+type t
+
+val max_vars : int
+(** Hard cap on arity (22: a 4 Mbit table). *)
+
+val n_vars : t -> int
+
+val size : t -> int
+(** [2{^n}], the number of rows. *)
+
+val create : int -> bool -> t
+(** Constant function. *)
+
+val of_fun : int -> (bool array -> bool) -> t
+
+val of_fun_int : int -> (int -> bool) -> t
+(** [of_fun_int n f] tabulates [f] over minterm encodings. *)
+
+val of_cover : Cover.t -> t
+
+val of_minterms : int -> int list -> t
+
+val var : int -> int -> t
+(** [var n i] is the projection function x{_i}. *)
+
+val eval : t -> bool array -> bool
+
+val eval_int : t -> int -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val count_ones : t -> int
+
+val is_const : t -> bool option
+(** [Some b] when the table is constantly [b]. *)
+
+val minterms : t -> int list
+
+val bnot : t -> t
+
+val band : t -> t -> t
+
+val bor : t -> t -> t
+
+val bxor : t -> t -> t
+
+val bsub : t -> t -> t
+(** [bsub f g] is f AND NOT g. *)
+
+val implies : t -> t -> bool
+
+val dual : t -> t
+(** f{^D}(x) = NOT f(NOT x): the heart of the FET-array and lattice size
+    formulas (Figures 3 and 5 of the paper). *)
+
+val is_self_dual : t -> bool
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor f v b] fixes variable [v] to [b]; the result keeps arity
+    [n] but no longer depends on [v]. *)
+
+val exists : t -> int -> t
+(** Existential quantification of one variable (arity preserved). *)
+
+val depends_on : t -> int -> bool
+
+val support : t -> int list
+
+val restrict_to_support : t -> t * int list
+(** Drop non-support variables; returns the compacted table and the list
+    mapping new variable indices to original ones. *)
+
+val lift : t -> int -> int array -> t
+(** [lift f n map] re-expresses [f] (arity [Array.length map]) as a
+    function of [n] variables, where old variable [i] becomes new
+    variable [map.(i)]. *)
+
+val random : int -> seed:int -> t
+(** Deterministic pseudo-random function of [n] variables. *)
+
+val random_with_density : int -> seed:int -> density:float -> t
+(** Random function whose on-set fraction approximates [density]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/reliability/bisd.ml: Array Bist Fault_model Hashtbl List

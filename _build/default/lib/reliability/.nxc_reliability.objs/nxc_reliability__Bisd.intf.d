@@ -1,0 +1,1 @@
+lib/reliability/bisd.mli: Bist Fault_model

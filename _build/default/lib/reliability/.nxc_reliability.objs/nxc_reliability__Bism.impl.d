@@ -1,0 +1,1 @@
+lib/reliability/bism.ml: Array Defect Format Fun List Logs Rng

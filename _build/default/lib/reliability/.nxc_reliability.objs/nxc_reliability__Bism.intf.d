@@ -1,0 +1,1 @@
+lib/reliability/bism.mli: Defect Format Rng

@@ -1,0 +1,1 @@
+lib/reliability/bist.ml: Array Bool Fault_model Fun Hashtbl List Option Printf

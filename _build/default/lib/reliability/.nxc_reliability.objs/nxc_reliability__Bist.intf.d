@@ -1,0 +1,1 @@
+lib/reliability/bist.mli: Fault_model

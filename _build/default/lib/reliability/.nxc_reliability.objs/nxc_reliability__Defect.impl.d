@@ -1,0 +1,1 @@
+lib/reliability/defect.ml: Array Format Rng

@@ -1,0 +1,1 @@
+lib/reliability/defect.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/reliability/defect_flow.ml: Array Defect Format Fun List Nxc_lattice Rng

@@ -1,0 +1,1 @@
+lib/reliability/defect_flow.mli: Defect Format Nxc_lattice Rng

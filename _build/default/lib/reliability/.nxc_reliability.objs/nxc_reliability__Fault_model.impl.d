@@ -1,0 +1,1 @@
+lib/reliability/fault_model.ml: Array Bool Defect Format Fun List Option

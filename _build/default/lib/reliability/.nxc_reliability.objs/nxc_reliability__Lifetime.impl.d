@@ -1,0 +1,1 @@
+lib/reliability/lifetime.ml: Array Bism Defect Option Rng

@@ -1,0 +1,1 @@
+lib/reliability/lifetime.mli: Defect Rng

@@ -1,0 +1,1 @@
+lib/reliability/rng.ml: Array Float Fun

@@ -1,0 +1,1 @@
+lib/reliability/transient.ml: Nxc_lattice Nxc_logic Rng

@@ -1,0 +1,1 @@
+lib/reliability/transient.mli: Nxc_lattice Nxc_logic Rng

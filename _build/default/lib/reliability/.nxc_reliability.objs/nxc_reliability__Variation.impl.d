@@ -1,0 +1,1 @@
+lib/reliability/variation.ml: Array Defect_flow Fault_model Format List Rng

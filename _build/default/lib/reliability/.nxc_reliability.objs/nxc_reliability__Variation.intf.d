@@ -1,0 +1,1 @@
+lib/reliability/variation.mli: Defect_flow Fault_model Format Rng

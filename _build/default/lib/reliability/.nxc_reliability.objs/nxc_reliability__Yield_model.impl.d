@@ -1,0 +1,1 @@
+lib/reliability/yield_model.ml: Defect Defect_flow

@@ -1,0 +1,1 @@
+lib/reliability/yield_model.mli: Defect Rng

@@ -1,0 +1,49 @@
+(** Built-in self-mapping (Section IV.B).
+
+    BISM places a logical [k_rows x k_cols] array onto a physical
+    defective crossbar by choosing physical rows and columns.  The
+    schemes reproduce the paper's three procedures:
+
+    - {e Blind}: draw a fresh random placement, run
+      application-dependent BIST (pass/fail only), retry on fail.
+      Fast hardware, effective at low defect density.
+    - {e Greedy}: on a failing placement, run BISD to identify the
+      defective resources used, and reconfigure {e only those},
+      bypassing them with spare rows/columns.
+    - {e Hybrid}: blind for a fixed number of retries, then switch to
+      greedy — the paper's recommendation for unknown or varying
+      densities.
+
+    Statistics count programmed configurations (the expensive
+    operation), applied test vectors and diagnosis invocations, so the
+    benches can reproduce the regimes the paper describes. *)
+
+type scheme = Blind | Greedy | Hybrid of int
+
+type stats = {
+  success : bool;
+  configurations : int;  (** configurations programmed, including retries *)
+  test_applications : int;  (** total crosspoints tested *)
+  diagnoses : int;  (** BISD invocations (greedy only) *)
+}
+
+type mapping = {
+  row_map : int array;  (** logical row -> physical row *)
+  col_map : int array;
+}
+
+val mapping_defect_free : Defect.t -> mapping -> bool
+(** Application-dependent BIST oracle: every used crosspoint is
+    defect-free. *)
+
+val defective_cells : Defect.t -> mapping -> (int * int) list
+(** Logical coordinates of defective used crosspoints — what BISD
+    reports to the greedy scheme. *)
+
+val run :
+  Rng.t -> scheme -> chip:Defect.t -> k_rows:int -> k_cols:int ->
+  max_configs:int -> stats * mapping option
+(** Raises [Invalid_argument] when the logical array exceeds the
+    physical one. *)
+
+val pp_stats : Format.formatter -> stats -> unit

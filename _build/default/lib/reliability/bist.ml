@@ -1,0 +1,228 @@
+module Fm = Fault_model
+
+type vector_test = { vector : bool array; expected : bool }
+
+type kind =
+  | Group of { bit : int; value : bool }
+  | Diagonal of { shift : int; batch : int; offset : int }
+
+type test_config = {
+  label : string;
+  kind : kind;
+  config : Fm.config;
+  tests : vector_test list;
+}
+
+type plan = { rows : int; cols : int; configs : test_config list }
+
+let bits_for n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  max 1 (go 0)
+
+let all_ones cols = Array.make cols true
+
+let walking_zero cols j = Array.init cols (fun c -> c <> j)
+
+let one_hot cols j = Array.init cols (fun c -> c = j)
+
+let group_configs ~rows ~cols =
+  let bits = bits_for rows in
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun v ->
+          let members =
+            List.filter
+              (fun i -> (i lsr b) land 1 = Bool.to_int v)
+              (List.init rows Fun.id)
+          in
+          if members = [] then None
+          else begin
+            let config = Fm.empty_config ~rows ~cols in
+            List.iter
+              (fun i ->
+                config.Fm.observed.(i) <- true;
+                for c = 0 to cols - 1 do
+                  config.Fm.programmed.(i).(c) <- true
+                done)
+              members;
+            let tests =
+              { vector = all_ones cols; expected = true }
+              :: List.init cols (fun j ->
+                     { vector = walking_zero cols j; expected = false })
+            in
+            Some
+              { label = Printf.sprintf "group b%d=%d" b (Bool.to_int v);
+                kind = Group { bit = b; value = v };
+                config;
+                tests }
+          end)
+        [ true; false ])
+    (List.init bits Fun.id)
+
+let diagonal_configs ~rows ~cols =
+  let usable = cols - 1 in
+  let rows' = min rows usable in
+  let num_batches = (rows + usable - 1) / usable in
+  let num_offsets = (usable + rows' - 1) / rows' in
+  List.concat_map
+    (fun shift ->
+      let guard = if shift = 0 then cols - 1 else 0 in
+      let base = if shift = 0 then 0 else 1 in
+      List.concat_map
+        (fun t ->
+          List.map
+            (fun o ->
+              let phi i = base + ((i + (o * rows')) mod usable) in
+              let in_batch i = i / usable = t in
+              let config = Fm.empty_config ~rows ~cols in
+              for i = 0 to rows - 1 do
+                if in_batch i then begin
+                  config.Fm.programmed.(i).(phi i) <- true;
+                  config.Fm.observed.(i) <- true
+                end
+                else config.Fm.programmed.(i).(guard) <- true
+              done;
+              let tests =
+                List.filter_map
+                  (fun i ->
+                    if in_batch i then
+                      Some { vector = one_hot cols (phi i); expected = true }
+                    else None)
+                  (List.init rows Fun.id)
+              in
+              { label = Printf.sprintf "diag s%d t%d o%d" shift t o;
+                kind = Diagonal { shift; batch = t; offset = o };
+                config;
+                tests })
+            (List.init num_offsets Fun.id))
+        (List.init num_batches Fun.id))
+    [ 0; 1 ]
+
+let plan ~rows ~cols =
+  if rows < 1 then invalid_arg "Bist.plan: need at least one row";
+  if cols < 2 then invalid_arg "Bist.plan: need at least two columns";
+  { rows;
+    cols;
+    configs = group_configs ~rows ~cols @ diagonal_configs ~rows ~cols }
+
+let num_configs p = List.length p.configs
+
+let num_vectors p =
+  List.fold_left (fun acc tc -> acc + List.length tc.tests) 0 p.configs
+
+let syndrome p fault =
+  let acc = ref [] in
+  List.iteri
+    (fun ci tc ->
+      List.iteri
+        (fun vi t ->
+          (* the plan itself must be sound on a fault-free array *)
+          assert (Fm.eval tc.config t.vector = t.expected);
+          if Fm.eval ~fault tc.config t.vector <> t.expected then
+            acc := (ci, vi) :: !acc)
+        tc.tests)
+    p.configs;
+  List.rev !acc
+
+let detects p fault = syndrome p fault <> []
+
+let coverage p faults =
+  let undetected = List.filter (fun f -> not (detects p f)) faults in
+  let total = List.length faults in
+  if total = 0 then (1.0, [])
+  else
+    ( float_of_int (total - List.length undetected) /. float_of_int total,
+      undetected )
+
+let passes p oracle =
+  List.for_all
+    (fun tc ->
+      List.for_all (fun t -> oracle tc.config t.vector = t.expected) tc.tests)
+    p.configs
+
+let minimize_vectors p faults =
+  (* detection matrix: for every fault, the (config, vector) pairs that
+     catch it *)
+  let detecting = List.map (fun f -> (f, syndrome p f)) faults in
+  let detectable = List.filter (fun (_, s) -> s <> []) detecting in
+  let kept = Hashtbl.create 64 in
+  let remaining = ref detectable in
+  while !remaining <> [] do
+    (* count, per vector, how many remaining faults it catches *)
+    let tally = Hashtbl.create 64 in
+    List.iter
+      (fun (_, s) ->
+        List.iter
+          (fun key ->
+            Hashtbl.replace tally key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+          s)
+      !remaining;
+    let best_key, _ =
+      Hashtbl.fold
+        (fun key count (bk, bc) -> if count > bc then (key, count) else (bk, bc))
+        tally
+        ((-1, -1), 0)
+    in
+    Hashtbl.replace kept best_key ();
+    remaining := List.filter (fun (_, s) -> not (List.mem best_key s)) !remaining
+  done;
+  let before = num_vectors p in
+  let configs =
+    List.concat
+      (List.mapi
+         (fun ci tc ->
+           let tests =
+             List.concat
+               (List.mapi
+                  (fun vi t -> if Hashtbl.mem kept (ci, vi) then [ t ] else [])
+                  tc.tests)
+           in
+           if tests = [] then [] else [ { tc with tests } ])
+         p.configs)
+  in
+  let p' = { p with configs } in
+  (p', before - num_vectors p')
+
+let syndrome_multi p faults =
+  let acc = ref [] in
+  List.iteri
+    (fun ci tc ->
+      List.iteri
+        (fun vi t ->
+          if Fm.eval_multi ~faults tc.config t.vector <> t.expected then
+            acc := (ci, vi) :: !acc)
+        tc.tests)
+    p.configs;
+  List.rev !acc
+
+let detects_multi p faults = syndrome_multi p faults <> []
+
+let application_universe (cfg : Fm.config) =
+  let used_rows = Array.make cfg.Fm.rows false in
+  let used_cols = Array.make cfg.Fm.cols false in
+  Array.iteri
+    (fun r row ->
+      if cfg.Fm.observed.(r) then used_rows.(r) <- true;
+      Array.iteri
+        (fun c programmed ->
+          if programmed then begin
+            used_rows.(r) <- true;
+            used_cols.(c) <- true
+          end)
+        row)
+    cfg.Fm.programmed;
+  let touches = function
+    | Fm.Xpoint_stuck_open (r, c) | Fm.Xpoint_stuck_closed (r, c) ->
+        used_rows.(r) && used_cols.(c)
+    | Fm.Row_stuck (r, _) | Fm.Output_open r -> used_rows.(r)
+    | Fm.Col_stuck (c, _) -> used_cols.(c)
+    | Fm.Bridge_rows r -> used_rows.(r) || used_rows.(r + 1)
+    | Fm.Bridge_cols c -> used_cols.(c) || used_cols.(c + 1)
+  in
+  List.filter touches (Fm.universe ~rows:cfg.Fm.rows ~cols:cfg.Fm.cols)
+
+let plan_for (cfg : Fm.config) =
+  let full = plan ~rows:cfg.Fm.rows ~cols:cfg.Fm.cols in
+  fst (minimize_vectors full (application_universe cfg))

@@ -1,0 +1,105 @@
+type kind = Stuck_open | Stuck_closed | Bridge
+
+type t = { rows : int; cols : int; map : kind option array array }
+
+type profile = {
+  density : float;
+  frac_open : float;
+  frac_closed : float;
+  clusters : int;
+  cluster_radius : float;
+}
+
+let uniform density =
+  { density; frac_open = 0.80; frac_closed = 0.15; clusters = 0;
+    cluster_radius = 0.0 }
+
+let clustered ?(clusters = 3) density =
+  { (uniform density) with clusters; cluster_radius = 0.15 }
+
+let pick_kind rng p =
+  let x = Rng.float rng 1.0 in
+  if x < p.frac_open then Stuck_open
+  else if x < p.frac_open +. p.frac_closed then Stuck_closed
+  else Bridge
+
+let generate rng ~rows ~cols p =
+  if rows <= 0 || cols <= 0 then invalid_arg "Defect.generate";
+  let map = Array.make_matrix rows cols None in
+  if p.clusters = 0 then
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        if Rng.bool rng p.density then map.(r).(c) <- Some (pick_kind rng p)
+      done
+    done
+  else begin
+    (* clustered: the same expected count, but density is redistributed
+       around randomly placed centers with a uniform background *)
+    let centers =
+      Array.init p.clusters (fun _ ->
+          (Rng.int rng rows, Rng.int rng cols))
+    in
+    let radius = p.cluster_radius *. float_of_int (max rows cols) in
+    let background = p.density /. 4.0 in
+    let boosted = p.density *. 4.0 in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        let near =
+          Array.exists
+            (fun (cr, cc) ->
+              let dr = float_of_int (r - cr) and dc = float_of_int (c - cc) in
+              sqrt ((dr *. dr) +. (dc *. dc)) <= radius)
+            centers
+        in
+        let d = if near then boosted else background in
+        if Rng.bool rng (min 1.0 d) then map.(r).(c) <- Some (pick_kind rng p)
+      done
+    done
+  end;
+  { rows; cols; map }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let kind_at t r c =
+  if r < 0 || r >= t.rows || c < 0 || c >= t.cols then
+    invalid_arg "Defect.kind_at";
+  t.map.(r).(c)
+
+let is_defective t r c = kind_at t r c <> None
+
+let count t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc k -> if k = None then acc else acc + 1) acc row)
+    0 t.map
+
+let actual_density t = float_of_int (count t) /. float_of_int (t.rows * t.cols)
+
+let perfect ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Defect.perfect";
+  { rows; cols; map = Array.make_matrix rows cols None }
+
+let with_defect t r c k =
+  ignore (kind_at t r c);
+  let map = Array.map Array.copy t.map in
+  map.(r).(c) <- Some k;
+  { t with map }
+
+let pp ppf t =
+  Format.fprintf ppf "%dx%d defect map, %d defects (%.2f%%)@\n" t.rows t.cols
+    (count t)
+    (100.0 *. actual_density t);
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun k ->
+          Format.pp_print_char ppf
+            (match k with
+            | None -> '.'
+            | Some Stuck_open -> 'o'
+            | Some Stuck_closed -> 'x'
+            | Some Bridge -> 'b'))
+        row;
+      Format.pp_print_newline ppf ())
+    t.map

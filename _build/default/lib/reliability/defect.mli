@@ -1,0 +1,57 @@
+(** Fabrication defect maps.
+
+    Self-assembled nano-crossbars suffer high crosspoint defect
+    densities (Section IV).  A defect map records, per crosspoint,
+    whether fabrication left it unusable and how:
+
+    - [Stuck_open]: the crosspoint can never be programmed ON;
+    - [Stuck_closed]: it is permanently ON;
+    - [Bridge]: it shorts to a neighbouring line.
+
+    Maps are generated from a seeded {!Rng.t} with either a uniform
+    density or a clustered profile (defects concentrate around
+    contamination centers), matching the paper's "various defect density
+    distributions across different crossbars" concern for hybrid
+    BISM. *)
+
+type kind = Stuck_open | Stuck_closed | Bridge
+
+type t
+
+type profile = {
+  density : float;  (** expected defective fraction of crosspoints *)
+  frac_open : float;
+      (** share of defects that are stuck-open (the dominant kind in
+          nanowire crossbars); the rest split between stuck-closed and
+          bridges per [frac_closed]. *)
+  frac_closed : float;
+  clusters : int;  (** 0 = uniform; otherwise contamination centers *)
+  cluster_radius : float;  (** radius as a fraction of the array side *)
+}
+
+val uniform : float -> profile
+(** Uniform profile with the customary 80/15/5 open/closed/bridge
+    split. *)
+
+val clustered : ?clusters:int -> float -> profile
+
+val generate : Rng.t -> rows:int -> cols:int -> profile -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val kind_at : t -> int -> int -> kind option
+
+val is_defective : t -> int -> int -> bool
+
+val count : t -> int
+
+val actual_density : t -> float
+
+val perfect : rows:int -> cols:int -> t
+(** A defect-free map. *)
+
+val with_defect : t -> int -> int -> kind -> t
+(** Functional update — used by tests to build precise scenarios. *)
+
+val pp : Format.formatter -> t -> unit

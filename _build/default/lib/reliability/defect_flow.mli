@@ -1,0 +1,84 @@
+(** Application-independent defect-tolerant flow (Section IV.C, Fig. 6).
+
+    The defect-{e unaware} flow performs defect tolerance once per chip:
+    from the [N x N] partially defective crossbar it extracts a
+    universal [k x k] {e defect-free} subset of rows and columns.  All
+    later design steps target the perfect [k x k] array; only the final
+    mapping consults the (small, O(N)) recovered-resource list, instead
+    of a per-application O(N²) defect map as in the traditional
+    defect-aware flow.
+
+    Extracting the largest defect-free sub-crossbar is the maximum
+    balanced biclique problem (NP-hard); we provide the standard greedy
+    deletion heuristic plus an exact branch-and-bound for small arrays
+    to calibrate it. *)
+
+type selection = { sel_rows : int array; sel_cols : int array }
+
+val is_defect_free : Defect.t -> selection -> bool
+
+val greedy_max : Defect.t -> selection
+(** Repeatedly delete the row or column containing the most defects
+    (ties: shrink the larger side) until none remain, then balance to a
+    square. *)
+
+val extract : Defect.t -> k:int -> selection option
+(** A [k x k] defect-free selection via {!greedy_max}; [None] when the
+    heuristic recovers fewer than [k]. *)
+
+val exact_max : ?budget:int -> Defect.t -> selection
+(** Branch-and-bound maximum square selection.  Exponential: meant for
+    arrays up to roughly 12x12 (calibration of {!greedy_max}). *)
+
+val recovered_k : selection -> int
+
+(** {2 Flow cost model (Fig. 6)}
+
+    Abstract step counts comparing the two flows over a production run
+    of [chips] chips and [apps] applications:
+
+    - defect-aware: every chip is tested and diagnosed to a full O(N²)
+      defect map, and every application is re-placed per chip against
+      that map;
+    - defect-unaware: every chip is tested once to extract the [k x k]
+      subset (O(N) map of recovered indices); physical design happens
+      once per application, and the final per-chip mapping is a cheap
+      index translation. *)
+
+type cost = {
+  flow : string;
+  map_entries_per_chip : int;
+  design_runs : int;
+  per_chip_mapping_steps : int;
+  total_steps : int;
+}
+
+val aware_cost : n:int -> chips:int -> apps:int -> cost
+
+val unaware_cost : n:int -> k:int -> chips:int -> apps:int -> cost
+
+val pp_cost : Format.formatter -> cost -> unit
+
+(** {2 Defect-aware placement (Fig. 6a's final mapping)}
+
+    The traditional flow maps one {e specific} configuration around the
+    chip's defects: a lattice site that is constantly open ([Zero])
+    tolerates a stuck-open crosspoint underneath it, a constantly
+    closed site ([One]) tolerates a stuck-closed one, and literal sites
+    need clean crosspoints.  This per-application matching succeeds at
+    densities where the universal defect-free extraction cannot — at
+    the cost of redoing the search for every application and chip,
+    which is exactly the trade-off Fig. 6 illustrates. *)
+
+val site_compatible : Defect.kind option -> Nxc_lattice.Lattice.site -> bool
+
+val place_lattice :
+  Rng.t -> Defect.t -> Nxc_lattice.Lattice.t -> attempts:int ->
+  (int array * int array) option
+(** Randomized search with greedy row/column repair for a physical
+    (row, column) selection on which every site is compatible.
+    Returns (physical rows, physical cols) indexed by lattice
+    coordinates. *)
+
+val placement_compatible :
+  Defect.t -> Nxc_lattice.Lattice.t -> int array -> int array -> bool

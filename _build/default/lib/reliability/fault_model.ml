@@ -1,0 +1,159 @@
+type config = {
+  rows : int;
+  cols : int;
+  programmed : bool array array;
+  observed : bool array;
+}
+
+let empty_config ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Fault_model.empty_config";
+  { rows; cols;
+    programmed = Array.make_matrix rows cols false;
+    observed = Array.make rows false }
+
+let single_term ~rows ~cols r =
+  let c = empty_config ~rows ~cols in
+  Array.iteri (fun j _ -> c.programmed.(r).(j) <- true) c.programmed.(r);
+  c.observed.(r) <- true;
+  c
+
+type fault =
+  | Xpoint_stuck_open of int * int
+  | Xpoint_stuck_closed of int * int
+  | Row_stuck of int * bool
+  | Col_stuck of int * bool
+  | Output_open of int
+  | Bridge_rows of int
+  | Bridge_cols of int
+
+let universe ~rows ~cols =
+  let xs = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      xs := Xpoint_stuck_open (r, c) :: Xpoint_stuck_closed (r, c) :: !xs
+    done
+  done;
+  let lines =
+    List.concat_map
+      (fun r -> [ Row_stuck (r, false); Row_stuck (r, true); Output_open r ])
+      (List.init rows Fun.id)
+    @ List.concat_map
+        (fun c -> [ Col_stuck (c, false); Col_stuck (c, true) ])
+        (List.init cols Fun.id)
+  in
+  let bridges =
+    List.init (max 0 (rows - 1)) (fun r -> Bridge_rows r)
+    @ List.init (max 0 (cols - 1)) (fun c -> Bridge_cols c)
+  in
+  !xs @ lines @ bridges
+
+let num_faults ~rows ~cols = List.length (universe ~rows ~cols)
+
+let eval_multi ~faults cfg vector =
+  if Array.length vector <> cfg.cols then
+    invalid_arg "Fault_model.eval: vector length";
+  (* column line values: bridges first (wired-AND of the healthy
+     values), then stuck lines override *)
+  let col_val = Array.copy vector in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Bridge_cols c ->
+          let v = col_val.(c) && col_val.(c + 1) in
+          col_val.(c) <- v;
+          col_val.(c + 1) <- v
+      | Xpoint_stuck_open _ | Xpoint_stuck_closed _ | Row_stuck _
+      | Col_stuck _ | Output_open _ | Bridge_rows _ -> ())
+    faults;
+  List.iter
+    (fun fault ->
+      match fault with
+      | Col_stuck (c, v) -> col_val.(c) <- v
+      | Xpoint_stuck_open _ | Xpoint_stuck_closed _ | Row_stuck _
+      | Bridge_cols _ | Output_open _ | Bridge_rows _ -> ())
+    faults;
+  (* effective device placement *)
+  let has_device r c =
+    let forced_open =
+      List.exists (function Xpoint_stuck_open (fr, fc) -> fr = r && fc = c | _ -> false) faults
+    in
+    let forced_closed =
+      List.exists (function Xpoint_stuck_closed (fr, fc) -> fr = r && fc = c | _ -> false) faults
+    in
+    if forced_open then false
+    else forced_closed || cfg.programmed.(r).(c)
+  in
+  (* row line values: wired-AND over devices; empty row pulls up to 1 *)
+  let row_val =
+    Array.init cfg.rows (fun r ->
+        let value = ref true in
+        for c = 0 to cfg.cols - 1 do
+          if has_device r c && not col_val.(c) then value := false
+        done;
+        !value)
+  in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Bridge_rows r ->
+          let v = row_val.(r) && row_val.(r + 1) in
+          row_val.(r) <- v;
+          row_val.(r + 1) <- v
+      | Xpoint_stuck_open _ | Xpoint_stuck_closed _ | Col_stuck _
+      | Row_stuck _ | Output_open _ | Bridge_cols _ -> ())
+    faults;
+  List.iter
+    (fun fault ->
+      match fault with
+      | Row_stuck (r, v) -> row_val.(r) <- v
+      | Xpoint_stuck_open _ | Xpoint_stuck_closed _ | Col_stuck _
+      | Bridge_rows _ | Output_open _ | Bridge_cols _ -> ())
+    faults;
+  (* wired-OR over observed rows *)
+  let out = ref false in
+  for r = 0 to cfg.rows - 1 do
+    let observable =
+      cfg.observed.(r)
+      && not
+           (List.exists
+              (function Output_open fr -> fr = r | _ -> false)
+              faults)
+    in
+    if observable && row_val.(r) then out := true
+  done;
+  !out
+
+let eval ?fault cfg vector =
+  eval_multi ~faults:(Option.to_list fault) cfg vector
+
+let of_defect map r c =
+  match Defect.kind_at map r c with
+  | None -> None
+  | Some Defect.Stuck_open -> Some (Xpoint_stuck_open (r, c))
+  | Some Defect.Stuck_closed -> Some (Xpoint_stuck_closed (r, c))
+  | Some Defect.Bridge ->
+      let c' = min c (Defect.cols map - 2) in
+      if Defect.cols map >= 2 then Some (Bridge_cols c')
+      else Some (Xpoint_stuck_closed (r, c))
+
+let fault_row = function
+  | Xpoint_stuck_open (r, _) | Xpoint_stuck_closed (r, _)
+  | Row_stuck (r, _) | Output_open r | Bridge_rows r ->
+      Some r
+  | Col_stuck _ | Bridge_cols _ -> None
+
+let fault_col = function
+  | Xpoint_stuck_open (_, c) | Xpoint_stuck_closed (_, c)
+  | Col_stuck (c, _) | Bridge_cols c ->
+      Some c
+  | Row_stuck _ | Output_open _ | Bridge_rows _ -> None
+
+let pp_fault ppf = function
+  | Xpoint_stuck_open (r, c) -> Format.fprintf ppf "xpoint(%d,%d) stuck-open" r c
+  | Xpoint_stuck_closed (r, c) ->
+      Format.fprintf ppf "xpoint(%d,%d) stuck-closed" r c
+  | Row_stuck (r, v) -> Format.fprintf ppf "row %d stuck-at-%d" r (Bool.to_int v)
+  | Col_stuck (c, v) -> Format.fprintf ppf "col %d stuck-at-%d" c (Bool.to_int v)
+  | Output_open r -> Format.fprintf ppf "row %d output open" r
+  | Bridge_rows r -> Format.fprintf ppf "bridge rows %d-%d" r (r + 1)
+  | Bridge_cols c -> Format.fprintf ppf "bridge cols %d-%d" c (c + 1)

@@ -1,0 +1,66 @@
+(** Logic-level fault universe for a reconfigurable crossbar.
+
+    The testable abstraction is a {e configured} diode-style crossbar:
+    a grid whose crosspoints may be programmed, each row computing the
+    wired-AND of its programmed columns (an empty row floats to 1
+    through its pull-up), and an output line computing the wired-OR of
+    the {e observed} rows.  BIST reprograms this configuration at will
+    (Section IV.A: reprogrammability is the opportunity the project
+    exploits) and applies input vectors to the columns.
+
+    The fault universe covers the paper's list — stuck-at, bridging,
+    open and functional faults — concretely:
+
+    - crosspoint stuck-open / stuck-closed (functional faults of the
+      programmable device);
+    - row / column line stuck-at-0 / stuck-at-1;
+    - open output device of a row;
+    - AND-type bridges between adjacent rows and adjacent columns. *)
+
+type config = {
+  rows : int;
+  cols : int;
+  programmed : bool array array;
+  observed : bool array;  (** which rows drive the output line *)
+}
+
+val empty_config : rows:int -> cols:int -> config
+
+val single_term : rows:int -> cols:int -> int -> config
+(** [single_term ~rows ~cols r]: row [r] fully programmed and solely
+    observed — the paper's single-term test function. *)
+
+type fault =
+  | Xpoint_stuck_open of int * int
+  | Xpoint_stuck_closed of int * int
+  | Row_stuck of int * bool
+  | Col_stuck of int * bool
+  | Output_open of int
+  | Bridge_rows of int  (** rows [r] and [r+1] short (wired-AND) *)
+  | Bridge_cols of int  (** cols [c] and [c+1] short (wired-AND) *)
+
+val universe : rows:int -> cols:int -> fault list
+(** Every modelled fault of an [rows x cols] array. *)
+
+val num_faults : rows:int -> cols:int -> int
+
+val eval : ?fault:fault -> config -> bool array -> bool
+(** Output of the (possibly faulty) configured crossbar on an input
+    vector of length [cols]. *)
+
+val eval_multi : faults:fault list -> config -> bool array -> bool
+(** Simultaneous faults: line stucks override bridge values, which
+    override device-level effects — the same layering {!eval} uses for
+    a single fault.  Used to study masking between coincident
+    defects. *)
+
+val of_defect : Defect.t -> int -> int -> fault option
+(** The logic-level fault a fabrication defect at [(r, c)] induces:
+    stuck-open / stuck-closed crosspoints map directly, a bridge maps to
+    [Bridge_cols]/[Bridge_rows] at that position (clamped to the array
+    edge). *)
+
+val fault_row : fault -> int option
+val fault_col : fault -> int option
+
+val pp_fault : Format.formatter -> fault -> unit

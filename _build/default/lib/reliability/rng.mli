@@ -1,0 +1,35 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every stochastic experiment in the reliability stack threads one of
+    these explicitly, so `dune runtest` and the benches are exactly
+    reproducible and independent of the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val next : t -> int
+(** Next raw 62-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is a Bernoulli trial with probability [p]. *)
+
+val gaussian : t -> float
+(** Standard normal variate (Box–Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n]: [k] distinct values from
+    [0..n-1], in random order.  Requires [k <= n]. *)

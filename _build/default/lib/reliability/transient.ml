@@ -1,0 +1,47 @@
+module Lt = Nxc_lattice
+module L = Nxc_logic
+
+let invert_site (s : Lt.Lattice.site) : Lt.Lattice.site =
+  match s with
+  | Lt.Lattice.Zero -> Lt.Lattice.One
+  | Lt.Lattice.One -> Lt.Lattice.Zero
+  | Lt.Lattice.Lit (v, L.Cube.Pos) -> Lt.Lattice.Lit (v, L.Cube.Neg)
+  | Lt.Lattice.Lit (v, L.Cube.Neg) -> Lt.Lattice.Lit (v, L.Cube.Pos)
+
+let flip_sites rng ~epsilon lattice =
+  Lt.Lattice.map
+    (fun _ _ s -> if Rng.bool rng epsilon then invert_site s else s)
+    lattice
+
+let faulty_eval rng ~epsilon lattice m =
+  Lt.Lattice.eval_int (flip_sites rng ~epsilon lattice) m
+
+let module_error_rate rng ~trials ~epsilon lattice f =
+  if trials <= 0 then invalid_arg "Transient.module_error_rate";
+  let n = L.Boolfunc.n_vars f in
+  let wrong = ref 0 in
+  for _ = 1 to trials do
+    let m = Rng.int rng (1 lsl n) in
+    if faulty_eval rng ~epsilon lattice m <> L.Boolfunc.eval_int f m then
+      incr wrong
+  done;
+  float_of_int !wrong /. float_of_int trials
+
+let nmr_error_rate rng ~copies ~trials ~epsilon lattice f =
+  if copies land 1 = 0 || copies <= 0 then
+    invalid_arg "Transient.nmr_error_rate: copies must be odd";
+  if trials <= 0 then invalid_arg "Transient.nmr_error_rate";
+  let n = L.Boolfunc.n_vars f in
+  let wrong = ref 0 in
+  for _ = 1 to trials do
+    let m = Rng.int rng (1 lsl n) in
+    let votes = ref 0 in
+    for _ = 1 to copies do
+      if faulty_eval rng ~epsilon lattice m then incr votes
+    done;
+    let voted = 2 * !votes > copies in
+    if voted <> L.Boolfunc.eval_int f m then incr wrong
+  done;
+  float_of_int !wrong /. float_of_int trials
+
+let tmr_prediction p = (3.0 *. p *. p) -. (2.0 *. p *. p *. p)

@@ -1,0 +1,66 @@
+type delays = float array array
+
+let sample rng ~rows ~cols ~sigma =
+  Array.init rows (fun _ ->
+      Array.init cols (fun _ -> exp (sigma *. Rng.gaussian rng)))
+
+let config_delay d (cfg : Fault_model.config) =
+  let worst = ref 0.0 in
+  for r = 0 to cfg.Fault_model.rows - 1 do
+    if cfg.Fault_model.observed.(r) then begin
+      let chain = ref 0.0 in
+      for c = 0 to cfg.Fault_model.cols - 1 do
+        if cfg.Fault_model.programmed.(r).(c) then chain := !chain +. d.(r).(c)
+      done;
+      if !chain > !worst then worst := !chain
+    end
+  done;
+  !worst
+
+let selection_delay d (sel : Defect_flow.selection) =
+  let worst = ref 0.0 in
+  Array.iter
+    (fun r ->
+      let chain =
+        Array.fold_left (fun acc c -> acc +. d.(r).(c)) 0.0 sel.Defect_flow.sel_cols
+      in
+      if chain > !worst then worst := chain)
+    sel.Defect_flow.sel_rows;
+  !worst
+
+type stats = { mean : float; std : float; p95 : float; worst : float }
+
+let monte_carlo rng ~trials ~sigma cfg =
+  if trials <= 0 then invalid_arg "Variation.monte_carlo";
+  let samples =
+    Array.init trials (fun _ ->
+        let d =
+          sample rng ~rows:cfg.Fault_model.rows ~cols:cfg.Fault_model.cols
+            ~sigma
+        in
+        config_delay d cfg)
+  in
+  Array.sort compare samples;
+  let n = float_of_int trials in
+  let mean = Array.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples /. n
+  in
+  { mean;
+    std = sqrt var;
+    p95 = samples.(min (trials - 1) (int_of_float (0.95 *. n)));
+    worst = samples.(trials - 1) }
+
+let pick_fastest d = function
+  | [] -> invalid_arg "Variation.pick_fastest: no candidates"
+  | sel :: rest ->
+      List.fold_left
+        (fun (best, bd) s ->
+          let sd = selection_delay d s in
+          if sd < bd then (s, sd) else (best, bd))
+        (sel, selection_delay d sel)
+        rest
+
+let pp_stats ppf s =
+  Format.fprintf ppf "mean %.3f  std %.3f  p95 %.3f  worst %.3f" s.mean s.std
+    s.p95 s.worst

@@ -1,0 +1,30 @@
+let chips rng ~trials ~n ~profile f =
+  let hits = ref 0 and acc = ref 0.0 in
+  for _ = 1 to trials do
+    let chip = Defect.generate rng ~rows:n ~cols:n profile in
+    let hit, value = f chip in
+    if hit then incr hits;
+    acc := !acc +. value
+  done;
+  (float_of_int !hits /. float_of_int trials, !acc /. float_of_int trials)
+
+let recovery_rate rng ~trials ~n ~k ~profile =
+  if trials <= 0 then invalid_arg "Yield_model.recovery_rate";
+  fst
+    (chips rng ~trials ~n ~profile (fun chip ->
+         (Defect_flow.extract chip ~k <> None, 0.0)))
+
+let expected_max_k rng ~trials ~n ~profile =
+  if trials <= 0 then invalid_arg "Yield_model.expected_max_k";
+  snd
+    (chips rng ~trials ~n ~profile (fun chip ->
+         ( false,
+           float_of_int (Defect_flow.recovered_k (Defect_flow.greedy_max chip)) )))
+
+let guaranteed_k rng ~trials ~n ~profile ~min_yield =
+  let rec search k =
+    if k < 1 then 0
+    else if recovery_rate rng ~trials ~n ~k ~profile >= min_yield then k
+    else search (k - 1)
+  in
+  search n

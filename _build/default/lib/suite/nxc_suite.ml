@@ -1,0 +1,258 @@
+module L = Nxc_logic
+module B = L.Boolfunc
+
+type benchmark = { name : string; description : string; func : B.t }
+
+type multi = {
+  multi_name : string;
+  multi_description : string;
+  outputs : B.t list;
+}
+
+let popcount m =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 m
+
+let mk name description n f =
+  { name; description; func = B.of_fun_int ~name n f }
+
+let parity n =
+  mk (Printf.sprintf "xor%d" n)
+    (Printf.sprintf "parity of %d inputs" n)
+    n
+    (fun m -> popcount m land 1 = 1)
+
+let majority n =
+  if n land 1 = 0 then invalid_arg "Nxc_suite.majority: even arity";
+  mk (Printf.sprintf "maj%d" n)
+    (Printf.sprintf "majority of %d inputs" n)
+    n
+    (fun m -> 2 * popcount m > n)
+
+let random_function ~n ~seed ~density =
+  { name = Printf.sprintf "rnd%d_s%d" n seed;
+    description =
+      Printf.sprintf "seeded random function, %d inputs, density %.2f" n density;
+    func =
+      B.make
+        ~name:(Printf.sprintf "rnd%d_s%d" n seed)
+        (L.Truth_table.random_with_density n ~seed ~density) }
+
+(* rdXY-style symmetric counter output: bit [b] of the input weight *)
+let rd_output ~inputs ~bit =
+  mk
+    (Printf.sprintf "rd%d3_%d" inputs bit)
+    (Printf.sprintf "bit %d of the ones-count of %d inputs" bit inputs)
+    inputs
+    (fun m -> (popcount m lsr bit) land 1 = 1)
+
+(* two operand fields of [bits] bits each: low bits = a, high bits = b *)
+let fields bits m = (m land ((1 lsl bits) - 1), m lsr bits)
+
+let adder_output ~bits ~out =
+  mk
+    (Printf.sprintf "add%d_s%d" bits out)
+    (Printf.sprintf "bit %d of a %d+%d-bit sum" out bits bits)
+    (2 * bits)
+    (fun m ->
+      let a, b = fields bits m in
+      ((a + b) lsr out) land 1 = 1)
+
+let multiplier_output ~bits ~out =
+  mk
+    (Printf.sprintf "mul%d_p%d" bits out)
+    (Printf.sprintf "bit %d of a %dx%d-bit product" out bits bits)
+    (2 * bits)
+    (fun m ->
+      let a, b = fields bits m in
+      ((a * b) lsr out) land 1 = 1)
+
+let comparator bits =
+  mk
+    (Printf.sprintf "gt%d" bits)
+    (Printf.sprintf "%d-bit a > b" bits)
+    (2 * bits)
+    (fun m ->
+      let a, b = fields bits m in
+      a > b)
+
+let equality bits =
+  mk
+    (Printf.sprintf "eq%d" bits)
+    (Printf.sprintf "%d-bit a = b" bits)
+    (2 * bits)
+    (fun m ->
+      let a, b = fields bits m in
+      a = b)
+
+let mux k =
+  (* k select lines, 2^k data lines *)
+  let n = k + (1 lsl k) in
+  mk
+    (Printf.sprintf "mux%d" (1 lsl k))
+    (Printf.sprintf "%d-way multiplexer" (1 lsl k))
+    n
+    (fun m ->
+      let sel = m land ((1 lsl k) - 1) in
+      (m lsr k) land (1 lsl sel) <> 0)
+
+let one_hot n =
+  mk
+    (Printf.sprintf "onehot%d" n)
+    (Printf.sprintf "exactly one of %d inputs" n)
+    n
+    (fun m -> popcount m = 1)
+
+let interval_symmetric n lo hi =
+  mk
+    (Printf.sprintf "sym%d_%d%d" n lo hi)
+    (Printf.sprintf "ones-count of %d inputs in [%d,%d]" n lo hi)
+    n
+    (fun m ->
+      let w = popcount m in
+      w >= lo && w <= hi)
+
+let fig4 =
+  { name = "fig4";
+    description = "the paper's Fig. 4 lattice function";
+    func =
+      B.with_name "fig4"
+        (L.Parse.expr ~n:6 "x1x2x3 + x1x2x5x6 + x2x3x4x5 + x4x5x6") }
+
+let xnor2 =
+  { name = "xnor2";
+    description = "the paper's running example x1x2 + x1'x2'";
+    func = B.with_name "xnor2" (L.Parse.expr "x1x2 + x1'x2'") }
+
+(* D-reducible constructions: a core function confined to an affine
+   subspace (every on-set point satisfies one or two parity checks) *)
+let dred_masked ~name ~core_bits ~checks =
+  let n = core_bits + checks in
+  mk name
+    (Printf.sprintf "%d-input function confined by %d parity checks" n checks)
+    n
+    (fun m ->
+      (* parity checks: x_{core_bits+j} must equal the parity of the
+         low core bits shifted by j *)
+      let core = m land ((1 lsl core_bits) - 1) in
+      let ok = ref true in
+      for j = 0 to checks - 1 do
+        let expected = (popcount (core lsr j) land 1) = 1 in
+        let got = (m lsr (core_bits + j)) land 1 = 1 in
+        if expected <> got then ok := false
+      done;
+      !ok && 2 * popcount core > core_bits)
+
+(* product of disjoint small parities: the on-set is exactly an affine
+   space, where the constraint decomposition shines *)
+let affine_product ~name ~groups =
+  let n = List.fold_left ( + ) 0 groups in
+  mk name
+    (Printf.sprintf "product of %d disjoint parities over %d inputs"
+       (List.length groups) n)
+    n
+    (fun m ->
+      let rec go m = function
+        | [] -> true
+        | g :: rest ->
+            popcount (m land ((1 lsl g) - 1)) land 1 = 1 && go (m lsr g) rest
+      in
+      go m groups)
+
+(* a small core function gated by disjoint parity checks *)
+let gated_core ~name ~core_bits ~groups ~core =
+  let n = core_bits + List.fold_left ( + ) 0 groups in
+  mk name
+    (Printf.sprintf "%d-input core gated by %d parities" core_bits
+       (List.length groups))
+    n
+    (fun m ->
+      let rec checks m = function
+        | [] -> true
+        | g :: rest ->
+            popcount (m land ((1 lsl g) - 1)) land 1 = 1 && checks (m lsr g) rest
+      in
+      core (m land ((1 lsl core_bits) - 1)) && checks (m lsr core_bits) groups)
+
+let d_reducible () =
+  [ xnor2;
+    parity 3;
+    parity 5;
+    affine_product ~name:"affine6" ~groups:[ 3; 3 ];
+    affine_product ~name:"affine8" ~groups:[ 2; 2; 2; 2 ];
+    gated_core ~name:"gated_and" ~core_bits:2 ~groups:[ 2; 2 ]
+      ~core:(fun c -> c = 3);
+    gated_core ~name:"gated_maj3" ~core_bits:3 ~groups:[ 3 ] ~core:(fun c ->
+        popcount c >= 2);
+    dred_masked ~name:"dmaj4p1" ~core_bits:4 ~checks:1;
+    dred_masked ~name:"dmaj4p2" ~core_bits:4 ~checks:2 ]
+
+let core () =
+  [ xnor2;
+    parity 2;
+    parity 3;
+    parity 4;
+    parity 5;
+    majority 3;
+    majority 5;
+    fig4;
+    rd_output ~inputs:5 ~bit:0;
+    rd_output ~inputs:5 ~bit:1;
+    rd_output ~inputs:5 ~bit:2;
+    adder_output ~bits:2 ~out:0;
+    adder_output ~bits:2 ~out:1;
+    adder_output ~bits:2 ~out:2;
+    multiplier_output ~bits:2 ~out:1;
+    multiplier_output ~bits:2 ~out:2;
+    comparator 2;
+    equality 2;
+    mux 1;
+    one_hot 4;
+    interval_symmetric 5 2 3;
+    random_function ~n:4 ~seed:1 ~density:0.3;
+    random_function ~n:5 ~seed:2 ~density:0.25;
+    random_function ~n:5 ~seed:3 ~density:0.5 ]
+
+let all () =
+  core ()
+  @ [ parity 6;
+      parity 7;
+      majority 7;
+      rd_output ~inputs:7 ~bit:0;
+      rd_output ~inputs:7 ~bit:1;
+      rd_output ~inputs:7 ~bit:2;
+      adder_output ~bits:3 ~out:0;
+      adder_output ~bits:3 ~out:1;
+      adder_output ~bits:3 ~out:3;
+      comparator 3;
+      equality 3;
+      mux 2;
+      one_hot 6;
+      interval_symmetric 7 3 4;
+      random_function ~n:6 ~seed:4 ~density:0.3;
+      random_function ~n:7 ~seed:5 ~density:0.2;
+      random_function ~n:8 ~seed:6 ~density:0.15 ]
+  @ List.filter
+      (fun b -> not (List.exists (fun c -> c.name = b.name) (core ())))
+      (d_reducible ())
+
+let multi_output () =
+  [ { multi_name = "rd53";
+      multi_description = "5-input ones-counter (3 output bits)";
+      outputs =
+        List.map (fun b -> (rd_output ~inputs:5 ~bit:b).func) [ 0; 1; 2 ] };
+    { multi_name = "rd73";
+      multi_description = "7-input ones-counter (3 output bits)";
+      outputs =
+        List.map (fun b -> (rd_output ~inputs:7 ~bit:b).func) [ 0; 1; 2 ] };
+    { multi_name = "add2";
+      multi_description = "2+2-bit adder (3 output bits)";
+      outputs =
+        List.map (fun o -> (adder_output ~bits:2 ~out:o).func) [ 0; 1; 2 ] };
+    { multi_name = "mul2";
+      multi_description = "2x2-bit multiplier (4 output bits)";
+      outputs =
+        List.map (fun o -> (multiplier_output ~bits:2 ~out:o).func)
+          [ 0; 1; 2; 3 ] } ]
+
+let by_name name = List.find_opt (fun b -> b.name = name) (all ())

@@ -1,0 +1,1 @@
+test/test_core.ml: Affine Alcotest Array Bool Boolfunc Fun List Nxc_core Nxc_lattice Nxc_logic Nxc_reliability Nxc_suite Option Parse Printf QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_crossbar.ml: Alcotest Array Boolfunc Cover Diode Fet Fun List Metrics Minimize Model Nxc_crossbar Nxc_logic Parse QCheck Testutil Truth_table

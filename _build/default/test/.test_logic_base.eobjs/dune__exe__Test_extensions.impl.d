@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Boolfunc Cover Cube Fun Hashtbl List Minimize Nxc_core Nxc_crossbar Nxc_lattice Nxc_logic Nxc_reliability Nxc_suite Parse QCheck Testutil Truth_table

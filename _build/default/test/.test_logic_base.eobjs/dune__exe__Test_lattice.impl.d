@@ -1,0 +1,1 @@
+test/test_lattice.ml: Affine Alcotest Altun_riedel Boolfunc Checker Compose Cube Decompose_synth Dred_synth Isop Lattice List Nxc_lattice Nxc_logic Optimal Parse Pcircuit QCheck Testutil Truth_table

@@ -1,0 +1,1 @@
+test/test_logic_algs.ml: Affine Alcotest Array Bdd Boolfunc Cover Cube Dual Espresso Isop List Minimize Nxc_logic Parse Pcircuit QCheck Qm Testutil Truth_table

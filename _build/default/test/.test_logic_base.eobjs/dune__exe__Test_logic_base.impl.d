@@ -1,0 +1,1 @@
+test/test_logic_base.ml: Alcotest Array Bitvec Cover Cube List Nxc_logic QCheck Testutil Truth_table

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Array Bisd Bism Bist Defect Defect_flow Fault_model Format Fun List Nxc_reliability QCheck Rng String Testutil Variation Yield_model

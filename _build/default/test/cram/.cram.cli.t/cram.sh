@@ -1,0 +1,18 @@
+  $ nanoxcomp synth "x1x2 + x1'x2'"
+  $ nanoxcomp synth "x1x2x3" --lattice
+  $ nanoxcomp synth "x1 +"
+  $ nanoxcomp bist --rows 4 --cols 6
+  $ nanoxcomp bism --scheme greedy -n 24 -k 10 -d 0.03 --seed 7 --trials 5
+  $ nanoxcomp flow "x1 ^ x2" -d 0.05 --seed 3
+  $ nanoxcomp machine sum -n 10
+  $ nanoxcomp machine fib -n 12
+  $ cat > three.pla <<'PLA'
+  > .i 3
+  > .o 2
+  > .p 3
+  > 1-0 10
+  > 011 11
+  > --1 01
+  > .e
+  > PLA
+  $ nanoxcomp pla three.pla

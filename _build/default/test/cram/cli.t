@@ -1,0 +1,75 @@
+Synthesize the paper's running example across all technologies:
+
+  $ nanoxcomp synth "x1x2 + x1'x2'"
+  name           n  diode   fet     ar      dec     dred     best
+  x1x2 + x1'x2'   2  2x5     4x4     2x2     2x2     2x2         4
+  
+  products(f) = 2, products(f^D) = 2, literals = 4
+
+Print the lattice grid:
+
+  $ nanoxcomp synth "x1x2x3" --lattice
+  name           n  diode   fet     ar      dec     dred     best
+  x1x2x3         3  1x4     6x4     3x1     3x1     3x1         3
+  
+  products(f) = 1, products(f^D) = 3, literals = 3
+  
+  best lattice:
+  | x1 |
+  | x2 |
+  | x3 |
+
+Parse errors exit with code 2:
+
+  $ nanoxcomp synth "x1 +"
+  parse error: expected a variable, constant or parenthesis
+  [2]
+
+BIST plans always reach 100% coverage:
+
+  $ nanoxcomp bist --rows 4 --cols 6
+  plan for 4x6: 8 configurations (4 group), 44 vectors
+  faults: 80, coverage 100.0%
+
+BISM with a fixed seed is reproducible:
+
+  $ nanoxcomp bism --scheme greedy -n 24 -k 10 -d 0.03 --seed 7 --trials 5
+  5/5 chips mapped (k=10 on N=24 at 3.0% defects), avg 2.6 configurations
+
+
+End-to-end flow returns success through the exit code:
+
+  $ nanoxcomp flow "x1 ^ x2" -d 0.05 --seed 3
+  lattice 2x2 on a 24x24 chip (4.5% defects)
+  mapped: 1 configs, 4 tests, 0 diagnoses
+  functional after mapping: true
+
+The accumulator machine runs programs on the lattice fabric:
+
+  $ nanoxcomp machine sum -n 10
+  accumulator machine: 408 lattice sites of combinational logic
+  ran "sum" n=10: 77 cycles, result mem[0] = 55
+
+  $ nanoxcomp machine fib -n 12
+  accumulator machine: 408 lattice sites of combinational logic
+  ran "fib" n=12: 141 cycles, result mem[0] = 144
+
+PLA files synthesize output by output plus a shared crossbar:
+
+  $ cat > three.pla <<'PLA'
+  > .i 3
+  > .o 2
+  > .p 3
+  > 1-0 10
+  > 011 11
+  > --1 01
+  > .e
+  > PLA
+  $ nanoxcomp pla three.pla
+  3 inputs, 2 outputs (2 non-constant)
+  
+  name           n  diode   fet     ar      dec     dred     best
+  y0             3  2x6     6x5     3x2     3x2     4x2         6
+  y1             3  1x2     2x2     1x1     1x1     1x1         1
+  
+  shared multi-output crossbar: 3x7 (3 products)

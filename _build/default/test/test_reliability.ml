@@ -1,0 +1,648 @@
+(* Tests for Nxc_reliability: RNG, defect maps, the fault model, BIST
+   coverage (the paper's 100% claim), BISD localization, the three BISM
+   schemes, the defect-unaware flow, variation and yield models. *)
+
+open Nxc_reliability
+module Fm = Fault_model
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest = Testutil.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "determinism" `Quick (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 100 do
+          check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let sa = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+        let sb = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+        check "streams differ" false (sa = sb));
+    Alcotest.test_case "int respects bound" `Quick (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let x = Rng.int r 17 in
+          check "in range" true (x >= 0 && x < 17)
+        done);
+    Alcotest.test_case "bernoulli extremes" `Quick (fun () ->
+        let r = Rng.create 4 in
+        for _ = 1 to 100 do
+          check "p=0 never" false (Rng.bool r 0.0);
+          check "p=1 always" true (Rng.bool r 1.0)
+        done);
+    Alcotest.test_case "gaussian moments" `Quick (fun () ->
+        let r = Rng.create 5 in
+        let n = 20_000 in
+        let xs = Array.init n (fun _ -> Rng.gaussian r) in
+        let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+        let var =
+          Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs
+          /. float_of_int n
+        in
+        check "mean near 0" true (abs_float mean < 0.05);
+        check "variance near 1" true (abs_float (var -. 1.0) < 0.08));
+    Alcotest.test_case "sampling without replacement" `Quick (fun () ->
+        let r = Rng.create 6 in
+        for _ = 1 to 50 do
+          let s = Rng.sample_without_replacement r 8 20 in
+          check_int "size" 8 (Array.length s);
+          let sorted = List.sort_uniq compare (Array.to_list s) in
+          check_int "distinct" 8 (List.length sorted);
+          check "in range" true (List.for_all (fun x -> x >= 0 && x < 20) sorted)
+        done);
+    Alcotest.test_case "split independence" `Quick (fun () ->
+        let a = Rng.create 9 in
+        let b = Rng.split a in
+        let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+        let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+        check "different streams" false (xs = ys));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Defect maps                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let defect_tests =
+  [
+    Alcotest.test_case "perfect map" `Quick (fun () ->
+        let m = Defect.perfect ~rows:8 ~cols:8 in
+        check_int "no defects" 0 (Defect.count m);
+        check "density zero" true (Defect.actual_density m = 0.0));
+    Alcotest.test_case "uniform density is approximately honored" `Quick
+      (fun () ->
+        let rng = Rng.create 11 in
+        let m = Defect.generate rng ~rows:100 ~cols:100 (Defect.uniform 0.10) in
+        let d = Defect.actual_density m in
+        check "near 10%" true (d > 0.08 && d < 0.12));
+    Alcotest.test_case "kind mix follows the profile" `Quick (fun () ->
+        let rng = Rng.create 12 in
+        let m = Defect.generate rng ~rows:200 ~cols:200 (Defect.uniform 0.10) in
+        let count k =
+          let n = ref 0 in
+          for r = 0 to 199 do
+            for c = 0 to 199 do
+              if Defect.kind_at m r c = Some k then incr n
+            done
+          done;
+          !n
+        in
+        let opens = count Defect.Stuck_open
+        and closed = count Defect.Stuck_closed
+        and bridges = count Defect.Bridge in
+        let total = float_of_int (opens + closed + bridges) in
+        check "opens dominate" true (float_of_int opens /. total > 0.7);
+        check "bridges are rare" true (float_of_int bridges /. total < 0.12);
+        check "closed in between" true
+          (float_of_int closed /. total > 0.08
+          && float_of_int closed /. total < 0.25));
+    Alcotest.test_case "clustered maps cluster" `Quick (fun () ->
+        let rng = Rng.create 13 in
+        let m =
+          Defect.generate rng ~rows:80 ~cols:80 (Defect.clustered ~clusters:2 0.08)
+        in
+        (* local density variance should exceed a uniform map's:
+           compare max 10x10 tile count against the mean tile count *)
+        let tile tr tc =
+          let n = ref 0 in
+          for r = tr * 10 to (tr * 10) + 9 do
+            for c = tc * 10 to (tc * 10) + 9 do
+              if Defect.is_defective m r c then incr n
+            done
+          done;
+          !n
+        in
+        let tiles = List.concat_map (fun r -> List.map (tile r) (List.init 8 Fun.id)) (List.init 8 Fun.id) in
+        let mx = List.fold_left max 0 tiles in
+        let mean =
+          float_of_int (List.fold_left ( + ) 0 tiles) /. 64.0
+        in
+        check "hot tile well above mean" true (float_of_int mx > 3.0 *. mean));
+    Alcotest.test_case "with_defect is functional" `Quick (fun () ->
+        let m = Defect.perfect ~rows:4 ~cols:4 in
+        let m' = Defect.with_defect m 1 2 Defect.Stuck_open in
+        check_int "original untouched" 0 (Defect.count m);
+        check_int "updated has one" 1 (Defect.count m');
+        check "kind" true (Defect.kind_at m' 1 2 = Some Defect.Stuck_open));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fault_model_tests =
+  [
+    Alcotest.test_case "single-term config computes AND" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:3 ~cols:4 1 in
+        check "all ones" true (Fm.eval cfg [| true; true; true; true |]);
+        check "one zero" false (Fm.eval cfg [| true; false; true; true |]));
+    Alcotest.test_case "universe size formula" `Quick (fun () ->
+        (* 2mn xpoints + 3m row faults + 2n col faults + bridges *)
+        let m = 4 and n = 5 in
+        check_int "count"
+          ((2 * m * n) + (3 * m) + (2 * n) + (m - 1) + (n - 1))
+          (Fm.num_faults ~rows:m ~cols:n));
+    Alcotest.test_case "stuck-open widens the product" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:2 ~cols:3 0 in
+        let v = [| true; false; true |] in
+        check "fault-free is 0" false (Fm.eval cfg v);
+        check "ignoring the 0 input gives 1" true
+          (Fm.eval ~fault:(Fm.Xpoint_stuck_open (0, 1)) cfg v));
+    Alcotest.test_case "stuck-closed narrows the product" `Quick (fun () ->
+        let cfg = Fm.empty_config ~rows:2 ~cols:3 in
+        cfg.Fm.programmed.(0).(0) <- true;
+        cfg.Fm.observed.(0) <- true;
+        let v = [| true; false; true |] in
+        check "fault-free is 1" true (Fm.eval cfg v);
+        check "extra device reads the 0" false
+          (Fm.eval ~fault:(Fm.Xpoint_stuck_closed (0, 1)) cfg v));
+    Alcotest.test_case "row and column stuck" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:2 ~cols:2 0 in
+        check "row stuck 0" false
+          (Fm.eval ~fault:(Fm.Row_stuck (0, false)) cfg [| true; true |]);
+        check "col stuck 1 rescues a 0 input" true
+          (Fm.eval ~fault:(Fm.Col_stuck (1, true)) cfg [| true; false |]));
+    Alcotest.test_case "bridges are AND-type" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:2 ~cols:2 0 in
+        (* col bridge: both columns read the AND *)
+        check "col bridge kills mixed input" false
+          (Fm.eval ~fault:(Fm.Bridge_cols 0) cfg [| true; false |]
+          || Fm.eval ~fault:(Fm.Bridge_cols 0) cfg [| false; true |]));
+    Alcotest.test_case "output open silences the row" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:2 ~cols:2 1 in
+        check "fault-free" true (Fm.eval cfg [| true; true |]);
+        check "opened" false
+          (Fm.eval ~fault:(Fm.Output_open 1) cfg [| true; true |]));
+    Alcotest.test_case "of_defect translation" `Quick (fun () ->
+        let m = Defect.perfect ~rows:3 ~cols:3 in
+        let m = Defect.with_defect m 0 1 Defect.Stuck_open in
+        let m = Defect.with_defect m 2 2 Defect.Bridge in
+        check "open" true (Fm.of_defect m 0 1 = Some (Fm.Xpoint_stuck_open (0, 1)));
+        check "bridge clamped to edge" true
+          (Fm.of_defect m 2 2 = Some (Fm.Bridge_cols 1));
+        check "clean" true (Fm.of_defect m 1 1 = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BIST                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let full_coverage ~rows ~cols =
+  let p = Bist.plan ~rows ~cols in
+  let cov, undetected = Bist.coverage p (Fm.universe ~rows ~cols) in
+  (p, cov, undetected)
+
+let bist_tests =
+  [
+    Alcotest.test_case "100% coverage on square arrays" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            let _, cov, und = full_coverage ~rows:n ~cols:n in
+            if und <> [] then
+              Alcotest.failf "undetected on %dx%d: %s" n n
+                (String.concat ", "
+                   (List.map (Format.asprintf "%a" Fm.pp_fault) und));
+            check "coverage" true (cov = 1.0))
+          [ 2; 3; 4; 6; 8 ]);
+    Alcotest.test_case "100% coverage on rectangular arrays" `Quick (fun () ->
+        List.iter
+          (fun (m, n) ->
+            let _, cov, und = full_coverage ~rows:m ~cols:n in
+            if und <> [] then
+              Alcotest.failf "undetected on %dx%d: %s" m n
+                (String.concat ", "
+                   (List.map (Format.asprintf "%a" Fm.pp_fault) und));
+            check "coverage" true (cov = 1.0))
+          [ (1, 2); (1, 7); (2, 9); (3, 5); (5, 3); (9, 2); (12, 4); (4, 12) ]);
+    qtest ~count:40 "100% coverage on random shapes"
+      QCheck.(pair (int_range 1 9) (int_range 2 9))
+      (fun (rows, cols) ->
+        let _, cov, _ = full_coverage ~rows ~cols in
+        cov = 1.0);
+    Alcotest.test_case "group configurations are logarithmic" `Quick (fun () ->
+        List.iter
+          (fun m ->
+            let p = Bist.plan ~rows:m ~cols:8 in
+            let bits =
+              let rec go b = if 1 lsl b >= m then b else go (b + 1) in
+              max 1 (go 0)
+            in
+            check "at most 2 per bit" true
+              (Bisd.num_group_configs p <= 2 * bits))
+          [ 2; 4; 8; 16; 32; 64 ]);
+    Alcotest.test_case "passes on a perfect chip, fails with a fault" `Quick
+      (fun () ->
+        let p = Bist.plan ~rows:4 ~cols:4 in
+        check "perfect passes" true (Bist.passes p (fun cfg v -> Fm.eval cfg v));
+        check "faulty fails" false
+          (Bist.passes p (fun cfg v ->
+               Fm.eval ~fault:(Fm.Xpoint_stuck_open (2, 1)) cfg v)));
+    Alcotest.test_case "vector count stays linear-ish" `Quick (fun () ->
+        let p = Bist.plan ~rows:8 ~cols:8 in
+        check "configs" true (Bist.num_configs p <= 16);
+        check "vectors" true (Bist.num_vectors p <= 8 * 8 * 4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Multi-fault behaviour                                               *)
+(* ------------------------------------------------------------------ *)
+
+let multi_fault_tests =
+  [
+    Alcotest.test_case "eval_multi with one fault equals eval" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:3 ~cols:4 1 in
+        let vectors =
+          List.init 16 (fun m -> Array.init 4 (fun i -> m land (1 lsl i) <> 0))
+        in
+        List.iter
+          (fun f ->
+            List.iter
+              (fun v ->
+                check "agree" (Fm.eval ~fault:f cfg v)
+                  (Fm.eval_multi ~faults:[ f ] cfg v))
+              vectors)
+          (Fm.universe ~rows:3 ~cols:4));
+    Alcotest.test_case "empty fault list is fault-free" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:2 ~cols:3 0 in
+        let v = [| true; true; false |] in
+        check "agree" (Fm.eval cfg v) (Fm.eval_multi ~faults:[] cfg v));
+    Alcotest.test_case "pairs of stuck-opens never mask each other" `Quick
+      (fun () ->
+        (* expected-0 group tests push in one direction only, so two
+           same-direction faults cannot cancel *)
+        let plan = Bist.plan ~rows:5 ~cols:5 in
+        for r1 = 0 to 4 do
+          for c1 = 0 to 4 do
+            for r2 = 0 to 4 do
+              for c2 = 0 to 4 do
+                if (r1, c1) < (r2, c2) then
+                  check "detected" true
+                    (Bist.detects_multi plan
+                       [ Fm.Xpoint_stuck_open (r1, c1);
+                         Fm.Xpoint_stuck_open (r2, c2) ])
+              done
+            done
+          done
+        done);
+    qtest ~count:150 "random double faults are almost always detected"
+      QCheck.(pair (int_bound 1000) (int_bound 1000))
+      (fun (i, j) ->
+        let rows = 6 and cols = 6 in
+        let universe = Array.of_list (Fm.universe ~rows ~cols) in
+        let plan = Bist.plan ~rows ~cols in
+        let f1 = universe.(i mod Array.length universe) in
+        let f2 = universe.(j mod Array.length universe) in
+        (* ignore contradictory same-line stuck pairs, whose combined
+           behaviour is order-defined rather than physical *)
+        let contradictory =
+          match (f1, f2) with
+          | Fm.Row_stuck (a, x), Fm.Row_stuck (b, y) -> a = b && x <> y
+          | Fm.Col_stuck (a, x), Fm.Col_stuck (b, y) -> a = b && x <> y
+          | _ -> false
+        in
+        contradictory || Bist.detects_multi plan [ f1; f2 ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BISD                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bisd_tests =
+  [
+    Alcotest.test_case "stuck-open faults are uniquely located" `Quick (fun () ->
+        let rows = 4 and cols = 5 in
+        let p = Bist.plan ~rows ~cols in
+        let universe = Fm.universe ~rows ~cols in
+        for r = 0 to rows - 1 do
+          for c = 0 to cols - 1 do
+            let f = Fm.Xpoint_stuck_open (r, c) in
+            let loc = Bisd.locate p ~universe ~syndrome:(Bist.syndrome p f) in
+            check "row pinned" true (loc.Bisd.cand_rows = [ r ]);
+            check "col pinned" true (loc.Bisd.cand_cols = [ c ])
+          done
+        done);
+    Alcotest.test_case "row code decodes for stuck-open" `Quick (fun () ->
+        let rows = 8 and cols = 6 in
+        let p = Bist.plan ~rows ~cols in
+        for r = 0 to rows - 1 do
+          match Bisd.decode_row_code p (Bist.syndrome p (Fm.Xpoint_stuck_open (r, 2))) with
+          | Some r' -> check_int "decoded row" r r'
+          | None -> Alcotest.failf "no code for row %d" r
+        done);
+    Alcotest.test_case "every fault is localized to its row or column" `Quick
+      (fun () ->
+        let rows = 4 and cols = 5 in
+        let p = Bist.plan ~rows ~cols in
+        let universe = Fm.universe ~rows ~cols in
+        List.iter
+          (fun f ->
+            let loc = Bisd.locate p ~universe ~syndrome:(Bist.syndrome p f) in
+            let row_ok =
+              match Fm.fault_row f with
+              | Some r -> List.mem r loc.Bisd.cand_rows
+              | None -> true
+            in
+            let col_ok =
+              match Fm.fault_col f with
+              | Some c -> List.mem c loc.Bisd.cand_cols
+              | None -> true
+            in
+            (* bridges touch two lines; accept either endpoint *)
+            let bridge_ok =
+              match f with
+              | Fm.Bridge_rows r ->
+                  List.mem r loc.Bisd.cand_rows || List.mem (r + 1) loc.Bisd.cand_rows
+              | Fm.Bridge_cols c ->
+                  List.mem c loc.Bisd.cand_cols || List.mem (c + 1) loc.Bisd.cand_cols
+              | _ -> row_ok && col_ok
+            in
+            if not bridge_ok then
+              Alcotest.failf "bad localization for %s"
+                (Format.asprintf "%a" Fm.pp_fault f))
+          universe);
+    Alcotest.test_case "syndromes distinguish distinct stuck-opens" `Quick
+      (fun () ->
+        let p = Bist.plan ~rows:4 ~cols:4 in
+        for r = 0 to 3 do
+          for c = 0 to 3 do
+            for r' = 0 to 3 do
+              for c' = 0 to 3 do
+                if (r, c) < (r', c') then
+                  check "distinguishable" true
+                    (Bisd.distinguishable p (Fm.Xpoint_stuck_open (r, c))
+                       (Fm.Xpoint_stuck_open (r', c')))
+              done
+            done
+          done
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BISM                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bism_tests =
+  [
+    Alcotest.test_case "perfect chip maps in one configuration" `Quick (fun () ->
+        let chip = Defect.perfect ~rows:16 ~cols:16 in
+        List.iter
+          (fun scheme ->
+            let rng = Rng.create 21 in
+            let stats, m =
+              Bism.run rng scheme ~chip ~k_rows:8 ~k_cols:8 ~max_configs:10
+            in
+            check "success" true stats.Bism.success;
+            check_int "one config" 1 stats.Bism.configurations;
+            check "mapping valid" true
+              (match m with
+              | Some m -> Bism.mapping_defect_free chip m
+              | None -> false))
+          [ Bism.Blind; Bism.Greedy; Bism.Hybrid 3 ]);
+    Alcotest.test_case "successful mappings are always defect-free" `Quick
+      (fun () ->
+        let rng = Rng.create 22 in
+        for trial = 0 to 30 do
+          let chip =
+            Defect.generate rng ~rows:24 ~cols:24 (Defect.uniform 0.03)
+          in
+          List.iter
+            (fun scheme ->
+              let stats, m =
+                Bism.run
+                  (Rng.create (1000 + trial))
+                  scheme ~chip ~k_rows:10 ~k_cols:10 ~max_configs:400
+              in
+              match m with
+              | Some m ->
+                  check "defect-free" true (Bism.mapping_defect_free chip m)
+              | None -> check "fail only without mapping" false stats.Bism.success)
+            [ Bism.Blind; Bism.Greedy; Bism.Hybrid 5 ]
+        done);
+    Alcotest.test_case "greedy beats blind at high density" `Quick (fun () ->
+        let chip =
+          Defect.generate (Rng.create 23) ~rows:32 ~cols:32 (Defect.uniform 0.06)
+        in
+        let blind_stats, _ =
+          Bism.run (Rng.create 24) Bism.Blind ~chip ~k_rows:14 ~k_cols:14
+            ~max_configs:300
+        in
+        let greedy_stats, gm =
+          Bism.run (Rng.create 24) Bism.Greedy ~chip ~k_rows:14 ~k_cols:14
+            ~max_configs:300
+        in
+        check "blind fails" false blind_stats.Bism.success;
+        check "greedy succeeds" true greedy_stats.Bism.success;
+        check "greedy used diagnosis" true (greedy_stats.Bism.diagnoses > 0);
+        check "mapping sound" true
+          (match gm with
+          | Some m -> Bism.mapping_defect_free chip m
+          | None -> false));
+    Alcotest.test_case "blind is cheap at low density" `Quick (fun () ->
+        let chip =
+          Defect.generate (Rng.create 25) ~rows:32 ~cols:32 (Defect.uniform 0.005)
+        in
+        let stats, _ =
+          Bism.run (Rng.create 26) Bism.Blind ~chip ~k_rows:12 ~k_cols:12
+            ~max_configs:100
+        in
+        check "succeeds" true stats.Bism.success;
+        check "few configurations" true (stats.Bism.configurations <= 10);
+        check_int "no diagnosis hardware used" 0 stats.Bism.diagnoses);
+    Alcotest.test_case "hybrid switches regimes" `Quick (fun () ->
+        (* low density: succeeds within the blind budget, no diagnoses *)
+        let low =
+          Defect.generate (Rng.create 27) ~rows:32 ~cols:32 (Defect.uniform 0.005)
+        in
+        let s_low, _ =
+          Bism.run (Rng.create 28) (Bism.Hybrid 10) ~chip:low ~k_rows:12
+            ~k_cols:12 ~max_configs:300
+        in
+        check "low: success" true s_low.Bism.success;
+        check_int "low: no diagnoses" 0 s_low.Bism.diagnoses;
+        (* high density: exceeds the blind budget then recovers greedily *)
+        let high =
+          Defect.generate (Rng.create 29) ~rows:32 ~cols:32 (Defect.uniform 0.06)
+        in
+        let s_high, _ =
+          Bism.run (Rng.create 30) (Bism.Hybrid 10) ~chip:high ~k_rows:14
+            ~k_cols:14 ~max_configs:300
+        in
+        check "high: success" true s_high.Bism.success;
+        check "high: diagnoses used" true (s_high.Bism.diagnoses > 0));
+    Alcotest.test_case "oversized requests are rejected" `Quick (fun () ->
+        let chip = Defect.perfect ~rows:4 ~cols:4 in
+        check "raises" true
+          (match
+             Bism.run (Rng.create 1) Bism.Blind ~chip ~k_rows:5 ~k_cols:4
+               ~max_configs:1
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Defect-unaware flow                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let flow_tests =
+  [
+    Alcotest.test_case "greedy extraction is defect-free" `Quick (fun () ->
+        let rng = Rng.create 31 in
+        for _ = 1 to 40 do
+          let chip = Defect.generate rng ~rows:20 ~cols:20 (Defect.uniform 0.1) in
+          let sel = Defect_flow.greedy_max chip in
+          check "defect-free" true (Defect_flow.is_defect_free chip sel);
+          check "square" true
+            (Array.length sel.Defect_flow.sel_rows
+            = Array.length sel.Defect_flow.sel_cols)
+        done);
+    Alcotest.test_case "perfect chip recovers everything" `Quick (fun () ->
+        let chip = Defect.perfect ~rows:10 ~cols:10 in
+        check_int "k = n" 10 (Defect_flow.recovered_k (Defect_flow.greedy_max chip)));
+    Alcotest.test_case "extract honors k" `Quick (fun () ->
+        let rng = Rng.create 32 in
+        let chip = Defect.generate rng ~rows:16 ~cols:16 (Defect.uniform 0.05) in
+        (match Defect_flow.extract chip ~k:8 with
+        | Some sel ->
+            check_int "rows" 8 (Array.length sel.Defect_flow.sel_rows);
+            check "defect-free" true (Defect_flow.is_defect_free chip sel)
+        | None -> Alcotest.fail "expected an 8x8 extraction at 5% on 16x16");
+        check "absurd k refused" true (Defect_flow.extract chip ~k:16 = None));
+    Alcotest.test_case "exact is at least as good as greedy" `Quick (fun () ->
+        let rng = Rng.create 33 in
+        for _ = 1 to 15 do
+          let chip = Defect.generate rng ~rows:9 ~cols:9 (Defect.uniform 0.12) in
+          let g = Defect_flow.recovered_k (Defect_flow.greedy_max chip) in
+          let e_sel = Defect_flow.exact_max chip in
+          let e = Defect_flow.recovered_k e_sel in
+          check "exact >= greedy" true (e >= g);
+          check "exact defect-free" true (Defect_flow.is_defect_free chip e_sel)
+        done);
+    Alcotest.test_case "flow costs: unaware map is O(N) vs O(N^2)" `Quick
+      (fun () ->
+        let aware = Defect_flow.aware_cost ~n:64 ~chips:1000 ~apps:10 in
+        let unaware = Defect_flow.unaware_cost ~n:64 ~k:48 ~chips:1000 ~apps:10 in
+        check_int "aware map" (64 * 64) aware.Defect_flow.map_entries_per_chip;
+        check_int "unaware map" (2 * 64) unaware.Defect_flow.map_entries_per_chip;
+        check "unaware designs once per app" true
+          (unaware.Defect_flow.design_runs < aware.Defect_flow.design_runs);
+        check "unaware total cheaper" true
+          (unaware.Defect_flow.total_steps < aware.Defect_flow.total_steps));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Variation and yield                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let variation_tests =
+  [
+    Alcotest.test_case "lognormal median near one" `Quick (fun () ->
+        let rng = Rng.create 41 in
+        let d = Variation.sample rng ~rows:60 ~cols:60 ~sigma:0.3 in
+        let all = Array.to_list d |> List.concat_map Array.to_list in
+        let sorted = List.sort compare all in
+        let median = List.nth sorted (List.length sorted / 2) in
+        check "median" true (median > 0.9 && median < 1.1);
+        check "all positive" true (List.for_all (fun x -> x > 0.0) all));
+    Alcotest.test_case "config delay adds chains" `Quick (fun () ->
+        let d = [| [| 1.0; 2.0 |]; [| 10.0; 0.5 |] |] in
+        let cfg = Fm.single_term ~rows:2 ~cols:2 0 in
+        check "row 0 chain" true (Variation.config_delay d cfg = 3.0);
+        let cfg1 = Fm.single_term ~rows:2 ~cols:2 1 in
+        check "row 1 chain" true (Variation.config_delay d cfg1 = 10.5));
+    Alcotest.test_case "monte carlo ordering" `Quick (fun () ->
+        let rng = Rng.create 42 in
+        let cfg = Fm.single_term ~rows:4 ~cols:6 2 in
+        let s = Variation.monte_carlo rng ~trials:500 ~sigma:0.4 cfg in
+        check "mean <= p95" true (s.Variation.mean <= s.Variation.p95);
+        check "p95 <= worst" true (s.Variation.p95 <= s.Variation.worst);
+        check "spread exists" true (s.Variation.std > 0.0));
+    Alcotest.test_case "higher sigma spreads more" `Quick (fun () ->
+        let cfg = Fm.single_term ~rows:4 ~cols:6 1 in
+        let s1 =
+          Variation.monte_carlo (Rng.create 43) ~trials:800 ~sigma:0.1 cfg
+        in
+        let s2 =
+          Variation.monte_carlo (Rng.create 43) ~trials:800 ~sigma:0.6 cfg
+        in
+        check "std grows" true (s2.Variation.std > s1.Variation.std));
+    Alcotest.test_case "variation-aware choice is no worse" `Quick (fun () ->
+        let rng = Rng.create 44 in
+        let chip = Defect.generate rng ~rows:16 ~cols:16 (Defect.uniform 0.04) in
+        let d = Variation.sample rng ~rows:16 ~cols:16 ~sigma:0.5 in
+        (* several candidate selections from different greedy seeds:
+           derive alternatives by extracting from row/col subsets *)
+        let base = Defect_flow.greedy_max chip in
+        let alternatives =
+          List.filter_map
+            (fun k -> Defect_flow.extract chip ~k)
+            [ Defect_flow.recovered_k base; Defect_flow.recovered_k base - 1;
+              Defect_flow.recovered_k base - 2 ]
+        in
+        match alternatives with
+        | [] -> Alcotest.fail "no candidates"
+        | cands ->
+            let _, best_delay = Variation.pick_fastest d cands in
+            List.iter
+              (fun s ->
+                check "best is min" true
+                  (best_delay <= Variation.selection_delay d s))
+              cands);
+  ]
+
+let yield_tests =
+  [
+    Alcotest.test_case "yield is 1 without defects" `Quick (fun () ->
+        let r =
+          Yield_model.recovery_rate (Rng.create 51) ~trials:20 ~n:12 ~k:12
+            ~profile:(Defect.uniform 0.0)
+        in
+        check "perfect" true (r = 1.0));
+    Alcotest.test_case "yield falls with k" `Quick (fun () ->
+        let rate k =
+          Yield_model.recovery_rate (Rng.create 52) ~trials:60 ~n:16 ~k
+            ~profile:(Defect.uniform 0.08)
+        in
+        check "k=4 easy" true (rate 4 >= 0.9);
+        check "monotone-ish" true (rate 4 >= rate 10);
+        check "k=16 impossible at 8%" true (rate 16 <= 0.1));
+    Alcotest.test_case "expected max k falls with density" `Quick (fun () ->
+        let ek d =
+          Yield_model.expected_max_k (Rng.create 53) ~trials:40 ~n:16
+            ~profile:(Defect.uniform d)
+        in
+        check "ordering" true (ek 0.02 > ek 0.10 && ek 0.10 > ek 0.25));
+    Alcotest.test_case "guaranteed k is sound" `Quick (fun () ->
+        let profile = Defect.uniform 0.06 in
+        let k =
+          Yield_model.guaranteed_k (Rng.create 54) ~trials:40 ~n:16 ~profile
+            ~min_yield:0.9
+        in
+        check "nontrivial" true (k >= 1 && k < 16);
+        let r =
+          Yield_model.recovery_rate (Rng.create 55) ~trials:40 ~n:16 ~k ~profile
+        in
+        check "achieves the yield (resampled)" true (r >= 0.75));
+  ]
+
+let () =
+  Alcotest.run "reliability"
+    [
+      ("rng", rng_tests);
+      ("defect", defect_tests);
+      ("fault_model", fault_model_tests);
+      ("bist", bist_tests);
+      ("multi_fault", multi_fault_tests);
+      ("bisd", bisd_tests);
+      ("bism", bism_tests);
+      ("defect_flow", flow_tests);
+      ("variation", variation_tests);
+      ("yield", yield_tests);
+    ]
