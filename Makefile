@@ -1,0 +1,28 @@
+.PHONY: build test check bench smoke clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# the tier-1 gate: everything compiles (including examples and bench)
+# and every test — unit, property, cram, bench smoke — passes
+check:
+	dune build @all
+	dune runtest
+
+# full experiment sweep; writes BENCH_results.json
+bench:
+	dune exec bench/main.exe
+
+# quick end-to-end exercise of the observability surface
+smoke:
+	dune exec bench/main.exe -- E1
+	dune exec bin/nanoxcomp.exe -- flow "x1x2 + x1'x2'" \
+	  --trace=trace.json --trace-format=chrome --metrics
+	dune exec bin/nanoxcomp.exe -- stats "x1 ^ x2" --seed 3
+
+clean:
+	dune clean
+	rm -f trace.json

@@ -2,6 +2,11 @@
    DATE'17 paper (experiments E1-E10, see DESIGN.md), then runs
    Bechamel timing benches for the core synthesis kernels.
 
+   Every experiment returns its headline numbers; the runner wraps each
+   one with a wall-clock timer and a metrics snapshot and writes the lot
+   to BENCH_results.json (override the path with BENCH_OUT) next to the
+   human-readable tables it has always printed.
+
    Usage: dune exec bench/main.exe            (everything)
           dune exec bench/main.exe -- E4 E7   (selected experiments)   *)
 
@@ -10,6 +15,8 @@ module Lt = Nxc_lattice
 module X = Nxc_crossbar
 module R = Nxc_reliability
 module C = Nxc_core
+module Obs = Nxc_obs
+module J = Nxc_obs.Json
 
 let section id title =
   Format.printf "@.=====================================================@.";
@@ -24,6 +31,7 @@ let e1 () =
   section "E1" "two-terminal array sizes (Fig. 3 formulas)";
   Format.printf "%-12s %3s %9s %9s %9s  %-9s %-9s@." "name" "n" "products"
     "dualprod" "literals" "diode" "fet";
+  let count = ref 0 and total_products = ref 0 and total_literals = ref 0 in
   List.iter
     (fun b ->
       let f = b.Nxc_suite.func in
@@ -34,13 +42,20 @@ let e1 () =
       (* the formulas must equal the built arrays *)
       assert (X.Diode.dims (X.Diode.synthesize f) = d);
       assert (X.Fet.dims (X.Fet.synthesize f) = t);
+      incr count;
+      total_products := !total_products + Cover.num_cubes cover;
+      total_literals :=
+        !total_literals + List.length (Cover.distinct_literals cover);
       Format.printf "%-12s %3d %9d %9d %9d  %dx%-7d %dx%-7d@." b.Nxc_suite.name
         (Boolfunc.n_vars f) (Cover.num_cubes cover) (Cover.num_cubes dual)
         (List.length (Cover.distinct_literals cover))
         d.X.Model.rows d.X.Model.cols t.X.Model.rows t.X.Model.cols)
     (Nxc_suite.core ());
   Format.printf
-    "@.paper check: xnor2 has 4 literals / 2 products -> diode 2x5, fet 4x4@."
+    "@.paper check: xnor2 has 4 literals / 2 products -> diode 2x5, fet 4x4@.";
+  [ ("benchmarks", J.Int !count);
+    ("total_products", J.Int !total_products);
+    ("total_distinct_literals", J.Int !total_literals) ]
 
 (* ------------------------------------------------------------------ *)
 (* E2: Fig. 5 — four-terminal lattice size formula + Fig. 4 example    *)
@@ -50,29 +65,41 @@ let e2 () =
   section "E2" "four-terminal lattice sizes (Fig. 5 formula, Fig. 4 example)";
   Format.printf "%-12s %3s  %-9s %6s %9s@." "name" "n" "lattice" "area"
     "verified";
+  let verified = ref 0 and total = ref 0 and total_area = ref 0 in
   List.iter
     (fun b ->
       let f = b.Nxc_suite.func in
       let l = Lt.Altun_riedel.synthesize f in
       let r, c = Lt.Altun_riedel.size_formula f in
       assert (Lt.Lattice.rows l = r && Lt.Lattice.cols l = c);
+      let ok = Lt.Checker.equivalent l f in
+      incr total;
+      if ok then incr verified;
+      total_area := !total_area + (r * c);
       Format.printf "%-12s %3d  %dx%-7d %6d %9b@." b.Nxc_suite.name
-        (Boolfunc.n_vars f) r c (r * c)
-        (Lt.Checker.equivalent l f))
+        (Boolfunc.n_vars f) r c (r * c) ok)
     (Nxc_suite.core ());
   let fig4_f, fig4_l = Lt.Altun_riedel.paper_example () in
-  Format.printf "@.Fig. 4 published lattice is 3x2 and verified: %b@."
-    (Lt.Checker.equivalent fig4_l fig4_f);
+  let fig4_ok = Lt.Checker.equivalent fig4_l fig4_f in
+  Format.printf "@.Fig. 4 published lattice is 3x2 and verified: %b@." fig4_ok;
+  let duality =
+    List.for_all
+      (fun b ->
+        match Boolfunc.is_const b.Nxc_suite.func with
+        | Some _ -> true
+        | None ->
+            Lt.Checker.computes_dual_lr
+              (Lt.Altun_riedel.synthesize b.Nxc_suite.func)
+              b.Nxc_suite.func)
+      (Nxc_suite.core ())
+  in
   Format.printf "left-to-right duality holds on every synthesized lattice: %b@."
-    (List.for_all
-       (fun b ->
-         match Boolfunc.is_const b.Nxc_suite.func with
-         | Some _ -> true
-         | None ->
-             Lt.Checker.computes_dual_lr
-               (Lt.Altun_riedel.synthesize b.Nxc_suite.func)
-               b.Nxc_suite.func)
-       (Nxc_suite.core ()))
+    duality;
+  [ ("verified", J.Int !verified);
+    ("benchmarks", J.Int !total);
+    ("total_lattice_area", J.Int !total_area);
+    ("fig4_verified", J.Bool fig4_ok);
+    ("lr_duality", J.Bool duality) ]
 
 (* ------------------------------------------------------------------ *)
 (* E3: Section III headline — size comparison                          *)
@@ -85,7 +112,13 @@ let e3 () =
       (fun b -> C.Synth.sizes (C.Synth.synthesize b.Nxc_suite.func))
       (Nxc_suite.core ())
   in
-  print_endline (C.Report.size_table rows)
+  print_endline (C.Report.size_table rows);
+  [ ("benchmarks", J.Int (List.length rows));
+    ( "total_best_lattice_area",
+      J.Int
+        (List.fold_left
+           (fun acc r -> acc + r.C.Synth.best_lattice_area)
+           0 rows) ) ]
 
 (* ------------------------------------------------------------------ *)
 (* E4: P-circuit decomposition preprocessing                           *)
@@ -122,7 +155,8 @@ let e4 () =
   Format.printf
     "@.decomposition (single or recursive) plus trimming reduced lattice \
      area on %d/%d benchmarks@."
-    !improved !total
+    !improved !total;
+  [ ("improved", J.Int !improved); ("benchmarks", J.Int !total) ]
 
 (* ------------------------------------------------------------------ *)
 (* E5: D-reducible preprocessing                                       *)
@@ -131,12 +165,15 @@ let e4 () =
 let e5 () =
   section "E5" "D-reducible function preprocessing (Section III.B.2)";
   Format.printf "%-12s %6s %8s %8s %7s@." "name" "dim" "direct" "d-red" "gain";
+  let reducible = ref 0 and total = ref 0 in
   List.iter
     (fun b ->
       let f = b.Nxc_suite.func in
+      incr total;
       match Affine.d_reduction f with
       | None -> Format.printf "%-12s  not D-reducible@." b.Nxc_suite.name
       | Some red ->
+          incr reducible;
           let direct = Lt.Lattice.area (Lt.Altun_riedel.synthesize f) in
           let dred_lattice = Option.get (Lt.Dred_synth.synthesize f) in
           assert (Lt.Checker.equivalent dred_lattice f);
@@ -146,7 +183,8 @@ let e5 () =
             (Affine.dimension red.Affine.space)
             direct dred
             (100.0 *. (1.0 -. (float_of_int dred /. float_of_int direct))))
-    (Nxc_suite.d_reducible ())
+    (Nxc_suite.d_reducible ());
+  [ ("d_reducible", J.Int !reducible); ("benchmarks", J.Int !total) ]
 
 (* ------------------------------------------------------------------ *)
 (* E6: BIST coverage and BISD block codes                              *)
@@ -156,11 +194,13 @@ let e6 () =
   section "E6" "BIST exhaustive coverage, BISD logarithmic codes (IV.A)";
   Format.printf "%-8s %8s %9s %8s %9s %9s@." "array" "faults" "configs"
     "(group)" "vectors" "coverage";
+  let cov88 = ref 0.0 in
   List.iter
     (fun (m, n) ->
       let plan = R.Bist.plan ~rows:m ~cols:n in
       let universe = R.Fault_model.universe ~rows:m ~cols:n in
       let cov, _ = R.Bist.coverage plan universe in
+      if m = 8 && n = 8 then cov88 := cov;
       Format.printf "%2dx%-5d %8d %9d %8d %9d %8.1f%%@." m n
         (List.length universe) (R.Bist.num_configs plan)
         (R.Bisd.num_group_configs plan)
@@ -196,7 +236,11 @@ let e6 () =
   Format.printf
     "@.diagnosis on the full 6x6 universe: %d/%d faults located, %d pinned to \
      a single row and column@."
-    !located (List.length universe) !pinned
+    !located (List.length universe) !pinned;
+  [ ("coverage_8x8", J.Float !cov88);
+    ("located_6x6", J.Int !located);
+    ("pinned_6x6", J.Int !pinned);
+    ("universe_6x6", J.Int (List.length universe)) ]
 
 (* ------------------------------------------------------------------ *)
 (* E7: BISM regimes across defect density                              *)
@@ -209,6 +253,7 @@ let e7 () =
     k n n trials max_configs;
   Format.printf "%-9s %-8s %9s %10s %10s@." "density" "scheme" "mapped"
     "avg cfgs" "avg diags";
+  let scheme_totals = Hashtbl.create 4 in
   List.iter
     (fun density ->
       List.iter
@@ -229,6 +274,8 @@ let e7 () =
             cfgs := !cfgs + stats.R.Bism.configurations;
             diags := !diags + stats.R.Bism.diagnoses
           done;
+          Hashtbl.replace scheme_totals label
+            (!ok + Option.value ~default:0 (Hashtbl.find_opt scheme_totals label));
           Format.printf "%-9.3f %-8s %6d/%-3d %10.1f %10.1f@." density label
             !ok trials
             (float_of_int !cfgs /. float_of_int trials)
@@ -238,7 +285,12 @@ let e7 () =
     [ 0.005; 0.01; 0.02; 0.04; 0.08 ];
   Format.printf
     "@.expected shape: blind cheap at low density, failing at high; greedy \
-     bounded; hybrid tracks the better of the two@."
+     bounded; hybrid tracks the better of the two@.";
+  List.map
+    (fun label ->
+      ( label ^ "_mapped",
+        J.Int (Option.value ~default:0 (Hashtbl.find_opt scheme_totals label)) ))
+    [ "blind"; "greedy"; "hybrid" ]
 
 (* ------------------------------------------------------------------ *)
 (* E8: defect-unaware flow (Fig. 6)                                    *)
@@ -247,6 +299,7 @@ let e7 () =
 let e8 () =
   section "E8" "defect-unaware flow: k x k recovery and costs (Fig. 6)";
   Format.printf "%-6s %-9s %-12s %-8s@." "N" "density" "mean max k" "k/N";
+  let ek_32_005 = ref 0.0 and rec_16_005 = ref 0.0 in
   List.iter
     (fun n ->
       List.iter
@@ -255,6 +308,7 @@ let e8 () =
             R.Yield_model.expected_max_k (R.Rng.create 31) ~trials:25 ~n
               ~profile:(R.Defect.uniform density)
           in
+          if n = 32 && density = 0.05 then ek_32_005 := ek;
           Format.printf "%-6d %-9.2f %-12.1f %-8.2f@." n density ek
             (ek /. float_of_int n))
         [ 0.02; 0.05; 0.10; 0.20 ])
@@ -269,6 +323,7 @@ let e8 () =
             R.Yield_model.recovery_rate (R.Rng.create 32) ~trials:30 ~n:32 ~k
               ~profile:(R.Defect.uniform density)
           in
+          if k = 16 && density = 0.05 then rec_16_005 := r;
           Format.printf "  k=%d %.0f%%" k (100.0 *. r))
         [ 12; 16; 20; 24 ];
       Format.printf "@.")
@@ -278,7 +333,9 @@ let e8 () =
   Format.printf "  %a@." R.Defect_flow.pp_cost
     (R.Defect_flow.aware_cost ~n ~chips ~apps);
   Format.printf "  %a@." R.Defect_flow.pp_cost
-    (R.Defect_flow.unaware_cost ~n ~k:48 ~chips ~apps)
+    (R.Defect_flow.unaware_cost ~n ~k:48 ~chips ~apps);
+  [ ("mean_max_k_n32_d005", J.Float !ek_32_005);
+    ("recovery_k16_n32_d005", J.Float !rec_16_005) ]
 
 (* ------------------------------------------------------------------ *)
 (* E9: parametric variation tolerance                                  *)
@@ -317,11 +374,13 @@ let e9 () =
         end
     | _ -> ()
   done;
+  let gain_pct = 100.0 *. !gain /. float_of_int !counted in
   Format.printf
     "@.variation-aware selection saved %.1f%% worst-path delay on average \
      (%d chips, sigma 0.5)@."
-    (100.0 *. !gain /. float_of_int !counted)
-    !counted
+    gain_pct !counted;
+  [ ("mean_delay_saving_pct", J.Float gain_pct);
+    ("chips_counted", J.Int !counted) ]
 
 (* ------------------------------------------------------------------ *)
 (* E10: arithmetic + SSM on the defective fabric                       *)
@@ -349,13 +408,15 @@ let e10 () =
       ()
   in
   let final = C.Machine.run machine in
+  let fib12 = C.Machine.peek machine 0 in
   Format.printf
-    "accumulator machine: F(12) = %d in %d cycles (%d lattice sites)@."
-    (C.Machine.peek machine 0) final.C.Machine.steps
+    "accumulator machine: F(12) = %d in %d cycles (%d lattice sites)@." fib12
+    final.C.Machine.steps
     (C.Machine.lattice_sites machine);
   Format.printf "@.Fig. 2 pipeline over defect densities (10 chips each):@.";
   Format.printf "%-9s %-24s %9s %11s@." "density" "function" "mapped"
     "functional";
+  let tot_mapped = ref 0 and tot_functional = ref 0 and tot_runs = ref 0 in
   List.iter
     (fun density ->
       List.iter
@@ -372,10 +433,18 @@ let e10 () =
             if r.C.Flow.bism.R.Bism.success then incr mapped;
             if r.C.Flow.functional then incr functional
           done;
+          tot_mapped := !tot_mapped + !mapped;
+          tot_functional := !tot_functional + !functional;
+          tot_runs := !tot_runs + 10;
           Format.printf "%-9.2f %-24s %6d/10 %8d/10@." density expr !mapped
             !functional)
         [ "x1x2 + x1'x2'"; "x1x2 + x2x3 + x1'x3'"; "x1 ^ x2 ^ x3 ^ x4" ])
-    [ 0.02; 0.08 ]
+    [ 0.02; 0.08 ];
+  [ ("adder_errors", J.Int !errors);
+    ("fib12", J.Int fib12);
+    ("pipeline_runs", J.Int !tot_runs);
+    ("pipeline_mapped", J.Int !tot_mapped);
+    ("pipeline_functional", J.Int !tot_functional) ]
 
 (* ------------------------------------------------------------------ *)
 (* E11: multi-output product sharing                                   *)
@@ -385,6 +454,7 @@ let e11 () =
   section "E11" "multi-output crossbars: AND-plane product sharing";
   Format.printf "%-6s %9s %10s %10s %11s@." "name" "outputs" "shared-P"
     "separateP" "saved";
+  let tot_shared = ref 0 and tot_separate = ref 0 in
   List.iter
     (fun mo ->
       let fs = mo.Nxc_suite.outputs in
@@ -402,13 +472,17 @@ let e11 () =
           (fun acc f -> acc + Cover.num_cubes (Minimize.sop f))
           0 fs
       in
+      tot_shared := !tot_shared + X.Multi.num_products x;
+      tot_separate := !tot_separate + sep;
       Format.printf "%-6s %9d %10d %10d %10.0f%%@." mo.Nxc_suite.multi_name
         (List.length fs) (X.Multi.num_products x) sep
         (100.0 *. (1.0 -. (float_of_int (X.Multi.num_products x) /. float_of_int sep))))
     (Nxc_suite.multi_output ());
   Format.printf
     "@.products are the programmable AND-plane rows — the paper's size \
-     currency; sharing never needs more of them@."
+     currency; sharing never needs more of them@.";
+  [ ("total_shared_products", J.Int !tot_shared);
+    ("total_separate_products", J.Int !tot_separate) ]
 
 (* ------------------------------------------------------------------ *)
 (* E12: transient faults and modular redundancy                        *)
@@ -422,6 +496,7 @@ let e12 () =
     (Lt.Lattice.area l);
   Format.printf "%-9s %10s %10s %10s %12s@." "epsilon" "simplex" "tmr"
     "5-mr" "3p^2-2p^3";
+  let simplex_001 = ref 0.0 and tmr_001 = ref 0.0 in
   List.iter
     (fun eps ->
       let simplex =
@@ -436,12 +511,18 @@ let e12 () =
         R.Transient.nmr_error_rate (R.Rng.create 83) ~copies:5 ~trials:4000
           ~epsilon:eps l f
       in
+      if eps = 0.01 then begin
+        simplex_001 := simplex;
+        tmr_001 := tmr
+      end;
       Format.printf "%-9.3f %10.4f %10.4f %10.4f %12.4f@." eps simplex tmr fmr
         (R.Transient.tmr_prediction simplex))
     [ 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2 ];
   Format.printf
     "@.expected shape: TMR quadratically suppresses small error rates and \
-     loses its advantage as epsilon grows@."
+     loses its advantage as epsilon grows@.";
+  [ ("simplex_eps001", J.Float !simplex_001);
+    ("tmr_eps001", J.Float !tmr_001) ]
 
 (* ------------------------------------------------------------------ *)
 (* E13: defect-aware vs defect-unaware placement success               *)
@@ -455,6 +536,7 @@ let e13 () =
   Format.printf "placing a %dx%d lattice on 12x12 chips (30 chips/cell):@.@."
     lr lc;
   Format.printf "%-9s %16s %14s@." "density" "defect-unaware" "defect-aware";
+  let tot_unaware = ref 0 and tot_aware = ref 0 in
   List.iter
     (fun density ->
       let unaware = ref 0 and aware = ref 0 in
@@ -475,12 +557,16 @@ let e13 () =
         | Some _ -> incr aware
         | None -> ())
       done;
+      tot_unaware := !tot_unaware + !unaware;
+      tot_aware := !tot_aware + !aware;
       Format.printf "%-9.2f %13d/30 %11d/30@." density !unaware !aware)
     [ 0.05; 0.15; 0.30; 0.45; 0.60 ];
   Format.printf
     "@.the application-dependent flow keeps placing configurations long \
      after universal defect-free regions are gone — at a per-application, \
-     per-chip search cost (Fig. 6's trade-off)@."
+     per-chip search cost (Fig. 6's trade-off)@.";
+  [ ("unaware_placed", J.Int !tot_unaware);
+    ("aware_placed", J.Int !tot_aware) ]
 
 (* ------------------------------------------------------------------ *)
 (* E14: diode-array column folding                                     *)
@@ -506,8 +592,10 @@ let e14 () =
             d.X.Model.rows d.X.Model.cols d'.X.Model.rows d'.X.Model.cols
             (100.0 *. X.Folding.saving fd))
     (Nxc_suite.core ());
-  Format.printf "@.mean literal-column saving: %.0f%%@."
-    (100.0 *. !total_saved /. float_of_int !counted)
+  let mean_saving_pct = 100.0 *. !total_saved /. float_of_int !counted in
+  Format.printf "@.mean literal-column saving: %.0f%%@." mean_saving_pct;
+  [ ("mean_column_saving_pct", J.Float mean_saving_pct);
+    ("benchmarks", J.Int !counted) ]
 
 (* ------------------------------------------------------------------ *)
 (* E15: lifetime repair loop                                           *)
@@ -519,6 +607,7 @@ let e15 () =
     "12x12 array on a 24x24 chip aging for 4000 steps (8 chips/cell):@.@.";
   Format.printf "%-10s %-10s %10s %8s %10s %10s@." "fail-rate" "interval"
     "avail" "remaps" "corrupt" "survived";
+  let tot_alive = ref 0 and tot_remaps = ref 0 and tot_trials = ref 0 in
   List.iter
     (fun failure_rate ->
       List.iter
@@ -540,6 +629,9 @@ let e15 () =
             corrupt := !corrupt + s.R.Lifetime.corrupt_steps;
             if s.R.Lifetime.survived then incr alive
           done;
+          tot_alive := !tot_alive + !alive;
+          tot_remaps := !tot_remaps + !remaps;
+          tot_trials := !tot_trials + trials;
           Format.printf "%-10.3f %-10d %9.1f%% %8.1f %10.1f %7d/%d@."
             failure_rate check_interval
             (100.0 *. !avail /. float_of_int trials)
@@ -550,7 +642,10 @@ let e15 () =
     [ 0.002; 0.01 ];
   Format.printf
     "@.shorter check intervals buy availability (less silent corruption) at \
-     higher test cost — the paper's runtime-reliability trade@."
+     higher test cost — the paper's runtime-reliability trade@.";
+  [ ("survived", J.Int !tot_alive);
+    ("simulations", J.Int !tot_trials);
+    ("total_remaps", J.Int !tot_remaps) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches                                             *)
@@ -617,7 +712,8 @@ let timing () =
     |> List.sort compare
   in
   Format.printf "%-40s %15s@." "kernel" "ns/run";
-  List.iter (fun (name, ns) -> Format.printf "%-40s %15.0f@." name ns) rows
+  List.iter (fun (name, ns) -> Format.printf "%-40s %15.0f@." name ns) rows;
+  List.map (fun (name, ns) -> (name ^ "_ns", J.Float ns)) rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -626,18 +722,46 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("TIMING", timing) ]
 
+(* Run one experiment under a wall-clock timer with a fresh metrics
+   registry, and capture the headline numbers plus the metric snapshot. *)
+let run_one id f =
+  Obs.Metrics.reset ();
+  let t0 = Obs.Clock.now_ns () in
+  let headline = f () in
+  let dur_ns = Obs.Clock.now_ns () - t0 in
+  J.Obj
+    [ ("id", J.Str id);
+      ("wall_ms", J.Float (Obs.Clock.ns_to_ms dur_ns));
+      ("headline", J.Obj headline);
+      ("metrics", Obs.Metrics.dump_json ()) ]
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as args) -> args
     | _ -> List.map fst experiments
   in
-  List.iter
-    (fun id ->
-      match List.assoc_opt (String.uppercase_ascii id) experiments with
-      | Some f -> f ()
-      | None ->
-          Format.eprintf "unknown experiment %s (have: %s)@." id
-            (String.concat ", " (List.map fst experiments));
-          exit 2)
-    requested
+  let records =
+    List.map
+      (fun id ->
+        match List.assoc_opt (String.uppercase_ascii id) experiments with
+        | Some f -> run_one (String.uppercase_ascii id) f
+        | None ->
+            Format.eprintf "unknown experiment %s (have: %s)@." id
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+      requested
+  in
+  let out =
+    Option.value (Sys.getenv_opt "BENCH_OUT") ~default:"BENCH_results.json"
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.Str "nanoxcomp-bench/1");
+        ("experiments", J.List records) ]
+  in
+  let oc = open_out out in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote %s (%d experiments)@." out (List.length records)

@@ -6,13 +6,83 @@
      bist               BIST plan statistics and coverage
      bism               self-mapping experiment on random chips
      flow   <expr>      end-to-end synthesize/map/verify pipeline
-     yield              k x k recovery statistics *)
+     yield              k x k recovery statistics
+     stats  <expr>      end-to-end flow + full metrics snapshot
+
+   Every subcommand accepts --trace[=FILE], --trace-format and
+   --metrics (see the Observability section of README.md). *)
 
 open Cmdliner
 open Nxc_logic
 module R = Nxc_reliability
 module Lt = Nxc_lattice
 module C = Nxc_core
+module Obs = Nxc_obs
+
+(* ------------------------------------------------------------------ *)
+(* observability flags, shared by every subcommand                     *)
+(* ------------------------------------------------------------------ *)
+
+type trace_format = Tree | Jsonl | Chrome
+
+let obs_setup trace format metrics =
+  let dest =
+    match trace with
+    | Some d ->
+        Obs.Span.enable ();
+        Some d
+    | None -> if Obs.Span.enabled () then Some "-" else None
+  in
+  (* registered before the trace handler so metrics (stdout) print
+     before the stderr trace when both are enabled *)
+  if metrics then
+    at_exit (fun () ->
+        print_string (Obs.Metrics.dump_text ());
+        flush stdout);
+  match dest with
+  | None -> ()
+  | Some d ->
+      at_exit (fun () ->
+          match
+            if d = "-" then Ok (Format.err_formatter, fun () -> ())
+            else
+              match open_out d with
+              | oc -> Ok (Format.formatter_of_out_channel oc, fun () -> close_out oc)
+              | exception Sys_error msg -> Error msg
+          with
+          | Error msg -> Format.eprintf "cannot write trace: %s@." msg
+          | Ok (ppf, close) ->
+              (match format with
+              | Tree -> Obs.Span.export_tree ppf
+              | Jsonl -> Obs.Span.export_jsonl ppf
+              | Chrome -> Obs.Span.export_chrome ppf);
+              Format.pp_print_flush ppf ();
+              close ())
+
+let obs_term =
+  let trace =
+    let doc =
+      "Record hierarchical spans and export them on exit to $(docv) \
+       (use $(b,--trace) alone, or set NANOXCOMP_TRACE, for stderr)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let format =
+    let doc = "Trace export format: $(b,tree), $(b,jsonl) or $(b,chrome)." in
+    Arg.(
+      value
+      & opt (enum [ ("tree", Tree); ("jsonl", Jsonl); ("chrome", Chrome) ]) Tree
+      & info [ "trace-format" ] ~docv:"FMT" ~doc)
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Print the metrics snapshot on exit.")
+  in
+  Term.(const obs_setup $ trace $ format $ metrics)
 
 let expr_arg =
   let doc = "Boolean expression over x1, x2, ... (e.g. \"x1x2 + x1'x2'\")." in
@@ -37,7 +107,7 @@ let parse_or_die expr =
 (* ------------------------------------------------------------------ *)
 
 let synth_cmd =
-  let run expr show_lattice =
+  let run () expr show_lattice =
     let f = parse_or_die expr in
     let impl = C.Synth.synthesize f in
     let s = C.Synth.sizes impl in
@@ -59,10 +129,10 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"synthesize a function on all technologies")
-    Term.(const run $ expr_arg $ show_lattice)
+    Term.(const run $ obs_term $ expr_arg $ show_lattice)
 
 let suite_cmd =
-  let run full =
+  let run () full =
     let benches = if full then Nxc_suite.all () else Nxc_suite.core () in
     let rows =
       List.map
@@ -82,10 +152,10 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"size comparison over the benchmark suite")
-    Term.(const run $ full)
+    Term.(const run $ obs_term $ full)
 
 let bist_cmd =
-  let run rows cols =
+  let run () rows cols =
     let plan = R.Bist.plan ~rows ~cols in
     let universe = R.Fault_model.universe ~rows ~cols in
     let cov, und = R.Bist.coverage plan universe in
@@ -107,7 +177,7 @@ let bist_cmd =
   in
   Cmd.v
     (Cmd.info "bist" ~doc:"test-plan statistics and fault coverage")
-    Term.(const run $ rows $ cols)
+    Term.(const run $ obs_term $ rows $ cols)
 
 let scheme_conv =
   let parse = function
@@ -124,7 +194,7 @@ let scheme_conv =
   Arg.conv (parse, print)
 
 let bism_cmd =
-  let run n k density scheme seed trials =
+  let run () n k density scheme seed trials =
     let successes = ref 0 and configs = ref 0 in
     for t = 1 to trials do
       let chip =
@@ -161,10 +231,10 @@ let bism_cmd =
   in
   Cmd.v
     (Cmd.info "bism" ~doc:"built-in self-mapping experiment")
-    Term.(const run $ n $ k $ density_arg $ scheme $ seed_arg $ trials)
+    Term.(const run $ obs_term $ n $ k $ density_arg $ scheme $ seed_arg $ trials)
 
 let flow_cmd =
-  let run expr n density seed =
+  let run () expr n density seed =
     let f = parse_or_die expr in
     let chip =
       R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n
@@ -182,10 +252,10 @@ let flow_cmd =
   let n = Arg.(value & opt int 24 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
   Cmd.v
     (Cmd.info "flow" ~doc:"end-to-end synthesize, self-map and verify")
-    Term.(const run $ expr_arg $ n $ density_arg $ seed_arg)
+    Term.(const run $ obs_term $ expr_arg $ n $ density_arg $ seed_arg)
 
 let yield_cmd =
-  let run n density trials =
+  let run () n density trials =
     let profile = R.Defect.uniform density in
     let ek =
       R.Yield_model.expected_max_k (R.Rng.create 1) ~trials ~n ~profile
@@ -207,10 +277,10 @@ let yield_cmd =
   in
   Cmd.v
     (Cmd.info "yield" ~doc:"defect-unaware flow yield statistics")
-    Term.(const run $ n $ density_arg $ trials)
+    Term.(const run $ obs_term $ n $ density_arg $ trials)
 
 let pla_cmd =
-  let run path =
+  let run () path =
     let text =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -261,10 +331,10 @@ let pla_cmd =
   in
   Cmd.v
     (Cmd.info "pla" ~doc:"synthesize every output of a Berkeley PLA file")
-    Term.(const run $ path)
+    Term.(const run $ obs_term $ path)
 
 let machine_cmd =
-  let run program n =
+  let run () program n =
     let prog =
       match program with
       | "sum" -> C.Machine.assemble_sum_1_to_n ~n
@@ -290,7 +360,33 @@ let machine_cmd =
   Cmd.v
     (Cmd.info "machine"
        ~doc:"run a demo program on the lattice-fabric accumulator machine")
-    Term.(const run $ program $ n)
+    Term.(const run $ obs_term $ program $ n)
+
+let stats_cmd =
+  let run () expr json n density seed =
+    let f = parse_or_die expr in
+    let chip =
+      R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n
+        (R.Defect.uniform density)
+    in
+    let result = C.Flow.run (R.Rng.create (seed + 1)) ~chip f in
+    Format.printf "flow: mapped=%b functional=%b@.@."
+      result.C.Flow.bism.R.Bism.success result.C.Flow.functional;
+    if json then print_endline (Obs.Json.to_string (Obs.Metrics.dump_json ()))
+    else print_string (Obs.Metrics.dump_text ())
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"emit the snapshot as JSON instead of text")
+  in
+  let n = Arg.(value & opt int 24 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "run the end-to-end flow once and print the pipeline metrics \
+          snapshot")
+    Term.(const run $ obs_term $ expr_arg $ json $ n $ density_arg $ seed_arg)
 
 let () =
   (* NANOXCOMP_VERBOSE=debug|info enables library tracing *)
@@ -311,4 +407,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synth_cmd; suite_cmd; bist_cmd; bism_cmd; flow_cmd; yield_cmd;
-            pla_cmd; machine_cmd ]))
+            pla_cmd; machine_cmd; stats_cmd ]))

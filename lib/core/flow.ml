@@ -22,7 +22,16 @@ let lattice_with_defects lattice chip (mapping : R.Bism.mapping) =
       | Some (R.Defect.Stuck_closed | R.Defect.Bridge) -> Lt.Lattice.One)
     lattice
 
+module Obs = Nxc_obs
+
+let m_runs = Obs.Metrics.counter "flow.runs"
+let m_functional = Obs.Metrics.counter "flow.functional"
+
 let run ?(scheme = R.Bism.Hybrid 10) ?(max_configs = 1000) rng ~chip func =
+  Obs.Metrics.incr m_runs;
+  Obs.Span.with_ ~name:"flow.run"
+    ~attrs:(fun () -> [ ("name", Obs.Json.Str (Nxc_logic.Boolfunc.name func)) ])
+  @@ fun () ->
   let impl = Synth.synthesize func in
   let lattice = Synth.best_lattice impl in
   Log.info (fun f ->
@@ -31,17 +40,20 @@ let run ?(scheme = R.Bism.Hybrid 10) ?(max_configs = 1000) rng ~chip func =
         (R.Defect.rows chip) (R.Defect.cols chip)
         (100.0 *. R.Defect.actual_density chip));
   let bism, mapping =
-    R.Bism.run rng scheme ~chip
-      ~k_rows:(Lt.Lattice.rows lattice)
-      ~k_cols:(Lt.Lattice.cols lattice)
-      ~max_configs
+    Obs.Span.with_ ~name:"flow.bism" (fun () ->
+        R.Bism.run rng scheme ~chip
+          ~k_rows:(Lt.Lattice.rows lattice)
+          ~k_cols:(Lt.Lattice.cols lattice)
+          ~max_configs)
   in
   let functional =
+    Obs.Span.with_ ~name:"flow.verify" @@ fun () ->
     match mapping with
     | None -> false
     | Some m ->
         Lt.Checker.equivalent (lattice_with_defects lattice chip m) func
   in
+  if functional then Obs.Metrics.incr m_functional;
   { impl; bism; mapping; functional }
 
 type aware_result = {
@@ -51,6 +63,7 @@ type aware_result = {
 }
 
 let run_defect_aware ?(attempts = 200) rng ~chip func =
+  Obs.Span.with_ ~name:"flow.defect_aware" @@ fun () ->
   let aware_impl = Synth.synthesize func in
   let lattice = Synth.best_lattice aware_impl in
   match R.Defect_flow.place_lattice rng chip lattice ~attempts with

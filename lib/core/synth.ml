@@ -1,6 +1,10 @@
 module L = Nxc_logic
 module X = Nxc_crossbar
 module Lt = Nxc_lattice
+module Obs = Nxc_obs
+
+let m_functions = Obs.Metrics.counter "synth.functions"
+let m_verifications = Obs.Metrics.counter "synth.verifications"
 
 type t = {
   func : L.Boolfunc.t;
@@ -15,12 +19,28 @@ type t = {
 }
 
 let synthesize ?method_ ?(decompose = true) func =
+  Obs.Metrics.incr m_functions;
+  Obs.Span.with_ ~name:"synth.synthesize"
+    ~attrs:(fun () ->
+      [ ("name", Obs.Json.Str (L.Boolfunc.name func));
+        ("n", Obs.Json.Int (L.Boolfunc.n_vars func)) ])
+  @@ fun () ->
   let constant = L.Boolfunc.is_const func <> None in
-  let f_cover = L.Minimize.sop ?method_ func in
-  let dual_cover = L.Minimize.dual_sop ?method_ func in
-  let ar_lattice = Lt.Altun_riedel.synthesize ?method_ func in
+  let f_cover =
+    Obs.Span.with_ ~name:"synth.sop" (fun () -> L.Minimize.sop ?method_ func)
+  in
+  let dual_cover =
+    Obs.Span.with_ ~name:"synth.dual_sop" (fun () ->
+        L.Minimize.dual_sop ?method_ func)
+  in
+  let ar_lattice =
+    Obs.Span.with_ ~name:"synth.ar_lattice" (fun () ->
+        Lt.Altun_riedel.synthesize ?method_ func)
+  in
   let dec_lattice =
-    if decompose && not constant then Lt.Decompose_synth.best_of func
+    if decompose && not constant then
+      Obs.Span.with_ ~name:"synth.decompose" (fun () ->
+          Lt.Decompose_synth.best_of func)
     else ar_lattice
   in
   { func;
@@ -35,9 +55,15 @@ let synthesize ?method_ ?(decompose = true) func =
            (X.Fet.of_covers ~n:(L.Boolfunc.n_vars func) ~f_cover ~dual_cover));
     ar_lattice;
     dec_lattice;
-    dred_lattice = (if constant then None else Lt.Dred_synth.synthesize func) }
+    dred_lattice =
+      (if constant then None
+       else
+         Obs.Span.with_ ~name:"synth.dred" (fun () ->
+             Lt.Dred_synth.synthesize func)) }
 
 let verify impl =
+  Obs.Metrics.incr m_verifications;
+  Obs.Span.with_ ~name:"synth.verify" @@ fun () ->
   let f = impl.func in
   let n = L.Boolfunc.n_vars f in
   let check_fun g =

@@ -1,6 +1,9 @@
 module L = Nxc_logic
 module Cube = L.Cube
 module Cover = L.Cover
+module Obs = Nxc_obs
+
+let m_syntheses = Obs.Metrics.counter "lattice.ar_syntheses"
 
 let constant_lattice n b =
   Lattice.make ~n_vars:n [| [| (if b then Lattice.One else Lattice.Zero) |] |]
@@ -29,6 +32,8 @@ let synthesize_from_covers ~n ~f_cover ~dual_cover =
   Lattice.make ~n_vars:n sites
 
 let synthesize ?method_ f =
+  Obs.Metrics.incr m_syntheses;
+  Obs.Span.with_ ~name:"lattice.altun_riedel" @@ fun () ->
   let n = L.Boolfunc.n_vars f in
   match L.Boolfunc.is_const f with
   | Some b -> constant_lattice (max n 1) b

@@ -1,6 +1,10 @@
 module L = Nxc_logic
+module Obs = Nxc_obs
+
+let m_checks = Obs.Metrics.counter "lattice.equiv_checks"
 
 let counterexample lattice f =
+  Obs.Metrics.incr m_checks;
   let n = L.Boolfunc.n_vars f in
   if Lattice.n_vars lattice < n then Some 0
   else

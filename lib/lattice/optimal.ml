@@ -1,4 +1,8 @@
 module L = Nxc_logic
+module Obs = Nxc_obs
+
+let m_candidates = Obs.Metrics.counter "lattice.candidates_tried"
+let m_searches = Obs.Metrics.counter "lattice.optimal_searches"
 
 type result = Found of Lattice.t | Proved_larger of int | Budget_exhausted
 
@@ -61,15 +65,23 @@ let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true) f =
       | () -> by_area (area + 1)
       | exception Hit lattice -> Found lattice
   in
-  if k = 0 then
-    (* nullary function: only constants available *)
-    match L.Boolfunc.is_const f with
-    | Some b -> Found (Compose.of_const 1 b)
-    | None -> assert false
-  else
-    match by_area 1 with
-    | r -> r
-    | exception Out_of_budget -> Budget_exhausted
+  Obs.Metrics.incr m_searches;
+  Obs.Span.with_ ~name:"lattice.optimal_search"
+    ~attrs:(fun () -> [ ("max_area", Obs.Json.Int max_area) ])
+  @@ fun () ->
+  let outcome =
+    if k = 0 then
+      (* nullary function: only constants available *)
+      match L.Boolfunc.is_const f with
+      | Some b -> Found (Compose.of_const 1 b)
+      | None -> assert false
+    else
+      match by_area 1 with
+      | r -> r
+      | exception Out_of_budget -> Budget_exhausted
+  in
+  Obs.Metrics.add m_candidates !tried;
+  outcome
 
 let minimum_area ?max_area ?budget f =
   match search ?max_area ?budget f with

@@ -1,6 +1,10 @@
 module L = Nxc_logic
 module Cube = L.Cube
 module Cover = L.Cover
+module Obs = Nxc_obs
+
+let m_paths = Obs.Metrics.counter "lattice.paths_enumerated"
+let h_paths = Obs.Metrics.histogram "lattice.paths_per_lattice"
 
 (* Depth-first enumeration of simple paths from each top-row site to
    the bottom row, accumulating the product of literals along the way.
@@ -46,6 +50,8 @@ let path_products ?(max_paths = 100_000) lattice =
   for c = 0 to cols - 1 do
     dfs 0 c (Cube.top n)
   done;
+  Obs.Metrics.add m_paths !counted;
+  Obs.Metrics.observe h_paths !counted;
   Cover.cubes
     (Cover.single_cube_containment (Cover.make n !products))
 

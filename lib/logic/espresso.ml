@@ -1,3 +1,9 @@
+module Obs = Nxc_obs
+
+let m_expand_iters = Obs.Metrics.counter "espresso.expand_iters"
+let m_rounds = Obs.Metrics.counter "espresso.rounds"
+let m_calls = Obs.Metrics.counter "espresso.minimize_calls"
+
 type cost = { cubes : int; literals : int }
 
 let cost_of c = { cubes = Cover.num_cubes c; literals = Cover.num_literals c }
@@ -16,6 +22,7 @@ let expand ?dc cover =
   let care = with_dc ?dc cover in
   let expand_cube c =
     let rec go c =
+      Obs.Metrics.incr m_expand_iters;
       let candidates =
         List.filter_map
           (fun (v, _) ->
@@ -90,12 +97,16 @@ let reduce ?dc cover =
   Cover.make n (go [] (Cover.cubes cover))
 
 let minimize ?dc ?(max_rounds = 8) cover =
+  Obs.Metrics.incr m_calls;
+  Obs.Span.with_ ~name:"espresso.minimize" @@ fun () ->
   let semantics = Truth_table.of_cover cover in
+  Obs.Metrics.incr m_rounds;
   let best = ref (irredundant ?dc (expand ?dc cover)) in
   let best_cost = ref (cost_of !best) in
   let current = ref !best in
   (try
      for _ = 2 to max_rounds do
+       Obs.Metrics.incr m_rounds;
        let next = irredundant ?dc (expand ?dc (reduce ?dc !current)) in
        let c = cost_of next in
        if compare_cost c !best_cost >= 0 then raise Exit;

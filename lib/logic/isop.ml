@@ -1,9 +1,14 @@
 module Tt = Truth_table
+module Obs = Nxc_obs
+
+let m_calls = Obs.Metrics.counter "isop.calls"
+let m_rec = Obs.Metrics.counter "isop.recursive_calls"
 
 (* Minato-Morreale ISOP on truth tables.  [l] is the set that must be
    covered, [u] the set that may be covered (l <= u).  Variables are
    consumed in increasing index order; [v] is the next candidate. *)
 let rec isop_rec n v l u =
+  Obs.Metrics.incr m_rec;
   match Tt.is_const l with
   | Some false -> []
   | _ -> (
@@ -53,7 +58,10 @@ let isop ?lower u =
   if Tt.n_vars l <> n then invalid_arg "Isop.isop: arity mismatch";
   if Tt.count_ones (Tt.bsub l u) <> 0 then
     invalid_arg "Isop.isop: lower not contained in upper";
-  Cover.make n (isop_rec n 0 l u)
+  Obs.Metrics.incr m_calls;
+  Obs.Span.with_ ~name:"isop.isop"
+    ~attrs:(fun () -> [ ("n", Obs.Json.Int n) ])
+    (fun () -> Cover.make n (isop_rec n 0 l u))
 
 let isop_func f = isop (Boolfunc.table f)
 

@@ -2,7 +2,23 @@ type method_ = Exact | Heuristic | Espresso_loop | Auto
 
 let exact_threshold_vars = 8
 
+module Obs = Nxc_obs
+
+let m_sop_calls = Obs.Metrics.counter "minimize.sop_calls"
+
+let method_name = function
+  | Exact -> "exact"
+  | Heuristic -> "heuristic"
+  | Espresso_loop -> "espresso"
+  | Auto -> "auto"
+
 let sop_table ?(method_ = Auto) tt =
+  Obs.Metrics.incr m_sop_calls;
+  Obs.Span.with_ ~name:"minimize.sop"
+    ~attrs:(fun () ->
+      [ ("method", Obs.Json.Str (method_name method_));
+        ("n", Obs.Json.Int (Truth_table.n_vars tt)) ])
+  @@ fun () ->
   let n = Truth_table.n_vars tt in
   let exact () = fst (Qm.minimize_table tt) in
   let heuristic () = Isop.isop tt in

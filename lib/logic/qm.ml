@@ -1,3 +1,11 @@
+module Obs = Nxc_obs
+
+let m_calls = Obs.Metrics.counter "qm.minimize_calls"
+let m_primes = Obs.Metrics.counter "qm.prime_implicants"
+let m_nodes = Obs.Metrics.counter "qm.bnb_nodes"
+let m_budget_exhausted = Obs.Metrics.counter "qm.budget_exhausted"
+let h_primes = Obs.Metrics.histogram "qm.primes_per_call"
+
 let primes ~n ~on ~dc =
   let care = List.sort_uniq compare (on @ dc) in
   (* level sets of implicants as cubes; merge cubes at Hamming distance 1
@@ -75,9 +83,15 @@ let cover_exact primes_arr on_list budget =
               go (i :: chosen) (n_chosen + 1) uncovered')
             candidates
   in
-  match go [] 0 on_list with
-  | () -> (!best, true)
-  | exception Budget -> (!best, false)
+  let outcome =
+    match go [] 0 on_list with
+    | () -> (!best, true)
+    | exception Budget ->
+        Obs.Metrics.incr m_budget_exhausted;
+        (!best, false)
+  in
+  Obs.Metrics.add m_nodes !nodes;
+  outcome
 
 let greedy_cover primes_arr on_list =
   let uncovered = ref on_list in
@@ -103,10 +117,16 @@ let greedy_cover primes_arr on_list =
   !chosen
 
 let minimize ?(dc = []) ?(budget = 200_000) ~n on =
+  Obs.Metrics.incr m_calls;
+  Obs.Span.with_ ~name:"qm.minimize"
+    ~attrs:(fun () -> [ ("n", Obs.Json.Int n) ])
+  @@ fun () ->
   let on = List.sort_uniq compare on in
   if on = [] then (Cover.bottom n, { num_primes = 0; num_essential = 0; exact = true })
   else
     let ps = primes ~n ~on ~dc in
+    Obs.Metrics.add m_primes (List.length ps);
+    Obs.Metrics.observe h_primes (List.length ps);
     let primes_arr = Array.of_list ps in
     (* essential primes: sole cover of some ON minterm *)
     let essential = Hashtbl.create 16 in

@@ -1,0 +1,20 @@
+(* Wall-clock nanoseconds made monotonic in software: the OCaml
+   distribution exposes no raw monotonic clock, so we clamp
+   [Unix.gettimeofday] to never run backwards.  63-bit nanoseconds
+   overflow in ~146 years. *)
+
+let last = ref 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  if t > !last then last := t;
+  !last
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+
+let pp_duration ppf ns =
+  if ns < 1_000 then Format.fprintf ppf "%dns" ns
+  else if ns < 1_000_000 then Format.fprintf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then
+    Format.fprintf ppf "%.1fms" (float_of_int ns /. 1e6)
+  else Format.fprintf ppf "%.2fs" (float_of_int ns /. 1e9)

@@ -1,0 +1,10 @@
+(** Monotonic time source for spans and benchmark telemetry. *)
+
+(** Nanoseconds since the Unix epoch, clamped so successive calls never
+    decrease. *)
+val now_ns : unit -> int
+
+val ns_to_ms : int -> float
+
+(** Human-readable duration: [834ns], [12.4us], [3.1ms], [2.50s]. *)
+val pp_duration : Format.formatter -> int -> unit

@@ -1,0 +1,174 @@
+(* Process-global metrics registry.  Instrumented modules create their
+   instruments once at module-initialization time and then mutate plain
+   record fields on the hot path, so recording a value never allocates
+   and never takes a lock (the whole pipeline is single-threaded). *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+(* Log-scale (base-2) histogram over non-negative integers: bucket 0
+   holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i - 1]; the top
+   bucket 62 therefore ends at max_int. *)
+let num_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Nxc_obs.Metrics: %S already registered as a non-%s" name
+       want)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_error name "counter"
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_error name "gauge"
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_error name "histogram"
+  | None ->
+      let h =
+        { h_name = name;
+          h_buckets = Array.make num_buckets 0;
+          h_count = 0;
+          h_sum = 0;
+          h_min = max_int;
+          h_max = 0 }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n = c.c_value <- c.c_value + n
+
+let counter_value c = c.c_value
+
+let set g v = g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let bucket_of v =
+  if v < 0 then invalid_arg "Nxc_obs.Metrics.bucket_of: negative value"
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    bits 0 v
+  end
+
+let bucket_range i =
+  (* for i = 62, [1 lsl 62] wraps to min_int and [- 1] wraps on to
+     max_int — exactly the top bucket's upper bound *)
+  if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let observe h v =
+  if v < 0 then invalid_arg "Nxc_obs.Metrics.observe: negative value";
+  h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let hist_count h = h.h_count
+
+let hist_sum h = h.h_sum
+
+let hist_bucket h i = h.h_buckets.(i)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+          Array.fill h.h_buckets 0 num_buckets 0;
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- max_int;
+          h.h_max <- 0)
+    registry
+
+let sorted_metrics () =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let histogram_json h =
+  let buckets =
+    List.concat
+      (List.init num_buckets (fun i ->
+           if h.h_buckets.(i) = 0 then []
+           else
+             let lo, hi = bucket_range i in
+             [ Json.Obj
+                 [ ("ge", Json.Int lo); ("le", Json.Int hi);
+                   ("n", Json.Int h.h_buckets.(i)) ] ]))
+  in
+  Json.Obj
+    [ ("count", Json.Int h.h_count);
+      ("sum", Json.Int h.h_sum);
+      ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
+      ("max", Json.Int h.h_max);
+      ("buckets", Json.List buckets) ]
+
+let dump_json () =
+  let pick f =
+    List.filter_map (fun (name, m) -> f name m) (sorted_metrics ())
+  in
+  Json.Obj
+    [ ( "counters",
+        Json.Obj
+          (pick (fun name -> function
+             | Counter c -> Some (name, Json.Int c.c_value)
+             | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (fun name -> function
+             | Gauge g -> Some (name, Json.Float g.g_value)
+             | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (fun name -> function
+             | Histogram h -> Some (name, histogram_json h)
+             | _ -> None)) ) ]
+
+let dump_text () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "counter   %-32s %d\n" name c.c_value)
+      | Gauge g -> Buffer.add_string b (Printf.sprintf "gauge     %-32s %g\n" name g.g_value)
+      | Histogram h ->
+          Buffer.add_string b
+            (Printf.sprintf "histogram %-32s count=%d sum=%d min=%d max=%d\n"
+               name h.h_count h.h_sum
+               (if h.h_count = 0 then 0 else h.h_min)
+               h.h_max))
+    (sorted_metrics ());
+  Buffer.contents b

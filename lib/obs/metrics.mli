@@ -1,0 +1,58 @@
+(** Process-global registry of named counters, gauges and log-scale
+    histograms.
+
+    Naming scheme: ["<namespace>.<metric>"] where the namespace is the
+    subsystem that owns the instrument ([qm], [espresso], [isop],
+    [minimize], [lattice], [bist], [bism], [montecarlo], [defect],
+    [synth], [flow]).
+
+    Instruments are created once (typically at module-initialization
+    time) and recording is a plain field mutation: no allocation, no
+    locking.  Recording is always on — it is cheap enough that there is
+    no disabled mode; only the {e reporting} ([dump_*]) is opt-in. *)
+
+type counter
+type gauge
+type histogram
+
+(** [counter name] returns the counter registered under [name],
+    creating it on first use.
+    @raise Invalid_argument if [name] is registered as another kind. *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** [observe h v] records [v >= 0] into its base-2 log-scale bucket:
+    bucket 0 holds exactly 0, bucket [i >= 1] holds [2^(i-1) .. 2^i-1],
+    and the top bucket 62 ends at [max_int].
+    @raise Invalid_argument when [v < 0]. *)
+val observe : histogram -> int -> unit
+
+(** [bucket_of v] is the bucket index [observe] files [v] under.
+    @raise Invalid_argument when [v < 0]. *)
+val bucket_of : int -> int
+
+(** [bucket_range i] is the inclusive [(lo, hi)] range of bucket [i]. *)
+val bucket_range : int -> int * int
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_bucket : histogram -> int -> int
+
+(** Zero every registered instrument, keeping registrations. *)
+val reset : unit -> unit
+
+(** Snapshot of every registered metric, keys sorted, as
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
+val dump_json : unit -> Json.t
+
+(** One line per registered metric, sorted by name. *)
+val dump_text : unit -> string

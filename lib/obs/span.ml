@@ -1,0 +1,168 @@
+(* Hierarchical spans.  Disabled by default: [with_] then just calls
+   its thunk — no clock read, no allocation — so instrumentation can
+   stay in hot paths permanently.  Enabled via [enable] (CLI flags) or
+   the NANOXCOMP_TRACE environment variable. *)
+
+type attr = string * Json.t
+
+type t = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  attrs : attr list;
+}
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "NANOXCOMP_TRACE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let enabled () = !enabled_flag
+
+let enable () = enabled_flag := true
+
+let disable () = enabled_flag := false
+
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_depth : int;
+  o_name : string;
+  o_start : int;
+  o_attrs : attr list;
+}
+
+let next_id = ref 0
+
+let open_stack : open_span list ref = ref []
+
+(* completed spans, most recently finished first *)
+let finished : t list ref = ref []
+
+let reset () =
+  next_id := 0;
+  open_stack := [];
+  finished := []
+
+let record o =
+  finished :=
+    { id = o.o_id;
+      parent = o.o_parent;
+      depth = o.o_depth;
+      name = o.o_name;
+      start_ns = o.o_start;
+      dur_ns = Clock.now_ns () - o.o_start;
+      attrs = o.o_attrs }
+    :: !finished
+
+let with_ ?attrs ~name f =
+  if not !enabled_flag then f ()
+  else begin
+    let parent, depth =
+      match !open_stack with
+      | [] -> (None, 0)
+      | o :: _ -> (Some o.o_id, o.o_depth + 1)
+    in
+    let id = !next_id in
+    incr next_id;
+    let o =
+      { o_id = id;
+        o_parent = parent;
+        o_depth = depth;
+        o_name = name;
+        o_start = Clock.now_ns ();
+        o_attrs = (match attrs with None -> [] | Some mk -> mk ()) }
+    in
+    open_stack := o :: !open_stack;
+    let finish () =
+      (* pop back to (and including) our own frame even if an exception
+         skipped the finish of deeper spans *)
+      let rec pop = function
+        | top :: rest when top.o_id <> id ->
+            record top;
+            pop rest
+        | top :: rest ->
+            record top;
+            open_stack := rest
+        | [] -> open_stack := []
+      in
+      pop !open_stack
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let completed () =
+  (* completion order: earliest-finished first *)
+  List.rev !finished
+
+let by_start () =
+  (* ids are assigned in start order *)
+  List.sort (fun a b -> compare a.id b.id) !finished
+
+(* ------------------------------------------------------------------ *)
+(* exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+      Format.fprintf ppf "  {%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ Json.to_string v) attrs))
+
+let export_tree ppf =
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%s%-*s %a%a@."
+        (String.make (2 * s.depth) ' ')
+        (max 1 (42 - (2 * s.depth)))
+        s.name Clock.pp_duration s.dur_ns pp_attrs s.attrs)
+    (by_start ())
+
+let span_json s =
+  Json.Obj
+    [ ("name", Json.Str s.name);
+      ("id", Json.Int s.id);
+      ("parent", match s.parent with None -> Json.Null | Some p -> Json.Int p);
+      ("depth", Json.Int s.depth);
+      ("start_ns", Json.Int s.start_ns);
+      ("dur_ns", Json.Int s.dur_ns);
+      ("attrs", Json.Obj s.attrs) ]
+
+let export_jsonl ppf =
+  List.iter
+    (fun s -> Format.fprintf ppf "%s@." (Json.to_string (span_json s)))
+    (completed ())
+
+(* Chrome trace_event format: an array of "X" (complete) events with
+   microsecond timestamps, loadable by chrome://tracing and Perfetto. *)
+let export_chrome ppf =
+  let base = match by_start () with [] -> 0 | s :: _ -> s.start_ns in
+  let event s =
+    Json.Obj
+      [ ("name", Json.Str s.name);
+        ("cat", Json.Str "nanoxcomp");
+        ("ph", Json.Str "X");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("ts", Json.Float (float_of_int (s.start_ns - base) /. 1e3));
+        ("dur", Json.Float (float_of_int s.dur_ns /. 1e3));
+        ("args", Json.Obj s.attrs) ]
+  in
+  Format.fprintf ppf "[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "@.%s" (Json.to_string (event s)))
+    (by_start ());
+  Format.fprintf ppf "@.]@."

@@ -1,0 +1,44 @@
+(** Hierarchical tracing spans over a monotonic clock.
+
+    Tracing is disabled by default: [with_ ~name f] then reduces to
+    [f ()] with no clock read and no allocation, so span call sites can
+    live permanently in hot paths.  Enable with [enable] (wired to the
+    CLI's [--trace] flag) or by setting the [NANOXCOMP_TRACE]
+    environment variable to anything but [""] or ["0"]. *)
+
+type attr = string * Json.t
+
+type t = {
+  id : int;  (** assigned in start order *)
+  parent : int option;
+  depth : int;
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  attrs : attr list;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** [with_ ~name f] runs [f] inside a span.  [attrs] is a thunk so the
+    disabled path never builds the attribute list.  Exception-safe: the
+    span (and any deeper spans an exception skipped) is closed before
+    the exception propagates. *)
+val with_ : ?attrs:(unit -> attr list) -> name:string -> (unit -> 'a) -> 'a
+
+(** Drop all recorded spans and reset the id counter. *)
+val reset : unit -> unit
+
+(** Completed spans, earliest finish first. *)
+val completed : unit -> t list
+
+(** Human-readable tree (indentation = nesting depth), in start order. *)
+val export_tree : Format.formatter -> unit
+
+(** One JSON object per completed span, one per line. *)
+val export_jsonl : Format.formatter -> unit
+
+(** Chrome [trace_event] JSON array for chrome://tracing / Perfetto. *)
+val export_chrome : Format.formatter -> unit

@@ -2,6 +2,15 @@ let src = Logs.Src.create "nxc.bism" ~doc:"built-in self-mapping"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module Obs = Nxc_obs
+
+let m_runs = Obs.Metrics.counter "bism.runs"
+let m_successes = Obs.Metrics.counter "bism.successes"
+let m_configurations = Obs.Metrics.counter "bism.configurations"
+let m_remap_attempts = Obs.Metrics.counter "bism.remap_attempts"
+let m_test_applications = Obs.Metrics.counter "bism.test_applications"
+let h_configs = Obs.Metrics.histogram "bism.configs_per_run"
+
 type scheme = Blind | Greedy | Hybrid of int
 
 type stats = {
@@ -86,6 +95,11 @@ let check_feasible chip ~k_rows ~k_cols =
 
 let run rng scheme ~chip ~k_rows ~k_cols ~max_configs =
   check_feasible chip ~k_rows ~k_cols;
+  Obs.Metrics.incr m_runs;
+  Obs.Span.with_ ~name:"bism.run"
+    ~attrs:(fun () ->
+      [ ("k_rows", Obs.Json.Int k_rows); ("k_cols", Obs.Json.Int k_cols) ])
+  @@ fun () ->
   let tests_per_config = k_rows * k_cols in
   let configurations = ref 0
   and test_applications = ref 0
@@ -161,6 +175,11 @@ let run rng scheme ~chip ~k_rows ~k_cols ~max_configs =
             if !configurations >= max_configs then None
             else greedy_loop (random_mapping rng chip ~k_rows ~k_cols))
   in
+  if result <> None then Obs.Metrics.incr m_successes;
+  Obs.Metrics.add m_configurations !configurations;
+  Obs.Metrics.add m_remap_attempts !diagnoses;
+  Obs.Metrics.add m_test_applications !test_applications;
+  Obs.Metrics.observe h_configs !configurations;
   ( { success = result <> None;
       configurations = !configurations;
       test_applications = !test_applications;

@@ -1,4 +1,9 @@
 module Fm = Fault_model
+module Obs = Nxc_obs
+
+let m_plans = Obs.Metrics.counter "bist.plans"
+let m_vectors = Obs.Metrics.counter "bist.vectors"
+let m_syndromes = Obs.Metrics.counter "bist.syndromes"
 
 type vector_test = { vector : bool array; expected : bool }
 
@@ -102,9 +107,19 @@ let diagonal_configs ~rows ~cols =
 let plan ~rows ~cols =
   if rows < 1 then invalid_arg "Bist.plan: need at least one row";
   if cols < 2 then invalid_arg "Bist.plan: need at least two columns";
-  { rows;
-    cols;
-    configs = group_configs ~rows ~cols @ diagonal_configs ~rows ~cols }
+  Obs.Metrics.incr m_plans;
+  Obs.Span.with_ ~name:"bist.plan"
+    ~attrs:(fun () ->
+      [ ("rows", Obs.Json.Int rows); ("cols", Obs.Json.Int cols) ])
+  @@ fun () ->
+  let p =
+    { rows;
+      cols;
+      configs = group_configs ~rows ~cols @ diagonal_configs ~rows ~cols }
+  in
+  Obs.Metrics.add m_vectors
+    (List.fold_left (fun acc tc -> acc + List.length tc.tests) 0 p.configs);
+  p
 
 let num_configs p = List.length p.configs
 
@@ -112,6 +127,7 @@ let num_vectors p =
   List.fold_left (fun acc tc -> acc + List.length tc.tests) 0 p.configs
 
 let syndrome p fault =
+  Obs.Metrics.incr m_syndromes;
   let acc = ref [] in
   List.iteri
     (fun ci tc ->
@@ -128,6 +144,9 @@ let syndrome p fault =
 let detects p fault = syndrome p fault <> []
 
 let coverage p faults =
+  Obs.Span.with_ ~name:"bist.coverage"
+    ~attrs:(fun () -> [ ("faults", Obs.Json.Int (List.length faults)) ])
+  @@ fun () ->
   let undetected = List.filter (fun f -> not (detects p f)) faults in
   let total = List.length faults in
   if total = 0 then (1.0, [])

@@ -23,8 +23,11 @@ let pick_kind rng p =
   else if x < p.frac_open +. p.frac_closed then Stuck_closed
   else Bridge
 
+let m_chips = Nxc_obs.Metrics.counter "defect.chips_generated"
+
 let generate rng ~rows ~cols p =
   if rows <= 0 || cols <= 0 then invalid_arg "Defect.generate";
+  Nxc_obs.Metrics.incr m_chips;
   let map = Array.make_matrix rows cols None in
   if p.clusters = 0 then
     for r = 0 to rows - 1 do

@@ -1,4 +1,13 @@
+module Obs = Nxc_obs
+
+let m_trials = Obs.Metrics.counter "montecarlo.trials"
+
 let chips rng ~trials ~n ~profile f =
+  Obs.Metrics.add m_trials trials;
+  Obs.Span.with_ ~name:"montecarlo.chips"
+    ~attrs:(fun () ->
+      [ ("trials", Obs.Json.Int trials); ("n", Obs.Json.Int n) ])
+  @@ fun () ->
   let hits = ref 0 and acc = ref 0.0 in
   for _ = 1 to trials do
     let chip = Defect.generate rng ~rows:n ~cols:n profile in

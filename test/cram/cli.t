@@ -73,3 +73,35 @@ PLA files synthesize output by output plus a shared crossbar:
   y1             3  1x2     2x2     1x1     1x1     1x1         1
   
   shared multi-output crossbar: 3x7 (3 products)
+
+Metrics reporting is opt-in and counts real algorithm work:
+
+  $ nanoxcomp synth "x1x2 + x1'x2'" --metrics | grep '^counter   \(qm\|synth\|lattice\)'
+  counter   lattice.ar_syntheses             12
+  counter   lattice.equiv_checks             3
+  counter   qm.bnb_nodes                     0
+  counter   qm.budget_exhausted              0
+  counter   qm.minimize_calls                26
+  counter   qm.prime_implicants              36
+  counter   synth.functions                  1
+  counter   synth.verifications              1
+
+Tracing renders a span tree (durations normalized here for stability):
+
+  $ nanoxcomp synth "x1x2" --trace=- 2>&1 >/dev/null | sed -E 's/[0-9]+(\.[0-9]+)?(ns|us|ms|s)/DUR/' | head -5
+  synth.synthesize                           DUR  {name="x1x2", n=2}
+    synth.sop                                DUR
+      minimize.sop                           DUR  {method="auto", n=2}
+        qm.minimize                          DUR  {n=2}
+    synth.dual_sop                           DUR
+
+The stats subcommand runs the flow and reports the counters:
+
+  $ nanoxcomp stats "x1 ^ x2" --seed 3 | head -2
+  flow: mapped=true functional=true
+  
+
+  $ nanoxcomp stats "x1 ^ x2" --seed 3 --json | sed -E 's/.*"flow.runs":([0-9]+).*/flow.runs=\1/'
+  flow: mapped=true functional=true
+  
+  flow.runs=1

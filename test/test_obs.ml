@@ -1,0 +1,295 @@
+(* Nxc_obs: spans, metrics, JSON round-trips, and the no-allocation
+   guarantee of the disabled tracing path. *)
+
+module Obs = Nxc_obs
+module J = Nxc_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip v = J.of_string (J.to_string v)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [ ("a", J.Int 42);
+        ("b", J.List [ J.Null; J.Bool true; J.Float 1.5 ]);
+        ("s", J.Str "line\nquote\" backslash\\ tab\t \x01 end") ]
+  in
+  Alcotest.(check bool) "roundtrip" true (roundtrip v = v);
+  Alcotest.(check bool)
+    "member" true
+    (J.member "a" v = Some (J.Int 42) && J.member "zz" v = None)
+
+let test_json_non_finite () =
+  Alcotest.(check string) "nan is null" "null" (J.to_string (J.Float nan));
+  Alcotest.(check string)
+    "inf is null" "null"
+    (J.to_string (J.Float infinity))
+
+let test_json_parse_errors () =
+  let bad s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) (Printf.sprintf "reject %S" s) true (bad s))
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "'single'"; "01" ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gauge () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  Alcotest.(check int) "counter" 11 (Obs.Metrics.counter_value c);
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Obs.Metrics.gauge_value g);
+  (* same name, same instrument *)
+  Obs.Metrics.incr (Obs.Metrics.counter "test.counter");
+  Alcotest.(check int) "shared" 12 (Obs.Metrics.counter_value c);
+  (* same name, different kind: rejected *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Nxc_obs.Metrics: \"test.counter\" already registered as a non-gauge")
+    (fun () -> ignore (Obs.Metrics.gauge "test.counter"))
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "bucket of 0" 0 (Obs.Metrics.bucket_of 0);
+  Alcotest.(check int) "bucket of 1" 1 (Obs.Metrics.bucket_of 1);
+  Alcotest.(check int) "bucket of 2" 2 (Obs.Metrics.bucket_of 2);
+  Alcotest.(check int) "bucket of 3" 2 (Obs.Metrics.bucket_of 3);
+  Alcotest.(check int) "bucket of 4" 3 (Obs.Metrics.bucket_of 4);
+  Alcotest.(check int) "bucket of max_int" 62 (Obs.Metrics.bucket_of max_int);
+  (* bucket ranges partition [0, max_int] with no gaps *)
+  Alcotest.(check (pair int int)) "range 0" (0, 0) (Obs.Metrics.bucket_range 0);
+  for i = 1 to 62 do
+    let lo, hi = Obs.Metrics.bucket_range i in
+    let _, prev_hi = Obs.Metrics.bucket_range (i - 1) in
+    Alcotest.(check int) (Printf.sprintf "contiguous %d" i) (prev_hi + 1) lo;
+    Alcotest.(check bool) (Printf.sprintf "ordered %d" i) true (hi >= lo)
+  done;
+  let _, top = Obs.Metrics.bucket_range 62 in
+  Alcotest.(check int) "top bucket ends at max_int" max_int top;
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Nxc_obs.Metrics.observe: negative value") (fun () ->
+      Obs.Metrics.observe (Obs.Metrics.histogram "test.hist_neg") (-1))
+
+let test_histogram_observe () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 3; 4; max_int ];
+  Alcotest.(check int) "count" 5 (Obs.Metrics.hist_count h);
+  Alcotest.(check bool) "sum" true (Obs.Metrics.hist_sum h = 8 + max_int);
+  Alcotest.(check int) "b0" 1 (Obs.Metrics.hist_bucket h 0);
+  Alcotest.(check int) "b1" 1 (Obs.Metrics.hist_bucket h 1);
+  Alcotest.(check int) "b2" 1 (Obs.Metrics.hist_bucket h 2);
+  Alcotest.(check int) "b3" 1 (Obs.Metrics.hist_bucket h 3);
+  Alcotest.(check int) "b62" 1 (Obs.Metrics.hist_bucket h 62)
+
+let test_metrics_dump () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.dump_counter" in
+  Obs.Metrics.add c 7;
+  let j = Obs.Metrics.dump_json () in
+  (* dump_json emits parseable JSON that contains what we recorded *)
+  let reparsed = J.of_string (J.to_string j) in
+  (match J.member "counters" reparsed with
+  | Some counters ->
+      Alcotest.(check bool)
+        "counter in dump" true
+        (J.member "test.dump_counter" counters = Some (J.Int 7))
+  | None -> Alcotest.fail "no counters key");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "dump_text mentions it" true
+    (contains (Obs.Metrics.dump_text ()) "test.dump_counter")
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_tracing f =
+  Obs.Span.enable ();
+  Obs.Span.reset ();
+  Fun.protect ~finally:Obs.Span.disable f
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_ ~name:"outer" (fun () ->
+      Obs.Span.with_ ~name:"inner_a" (fun () -> ());
+      Obs.Span.with_ ~name:"inner_b" (fun () -> ()));
+  let spans = Obs.Span.completed () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let by_name n = List.find (fun s -> s.Obs.Span.name = n) spans in
+  let outer = by_name "outer" in
+  let a = by_name "inner_a" and b = by_name "inner_b" in
+  Alcotest.(check (option int)) "outer is root" None outer.Obs.Span.parent;
+  Alcotest.(check (option int))
+    "a under outer"
+    (Some outer.Obs.Span.id)
+    a.Obs.Span.parent;
+  Alcotest.(check (option int))
+    "b under outer"
+    (Some outer.Obs.Span.id)
+    b.Obs.Span.parent;
+  Alcotest.(check int) "outer depth" 0 outer.Obs.Span.depth;
+  Alcotest.(check int) "inner depth" 1 a.Obs.Span.depth;
+  (* children finish before the parent; ids are in start order *)
+  (match List.map (fun s -> s.Obs.Span.name) spans with
+  | [ "inner_a"; "inner_b"; "outer" ] -> ()
+  | other ->
+      Alcotest.failf "unexpected finish order: %s" (String.concat "," other));
+  Alcotest.(check bool) "start order" true (a.Obs.Span.id < b.Obs.Span.id);
+  Alcotest.(check bool)
+    "parent spans child" true
+    (outer.Obs.Span.dur_ns >= a.Obs.Span.dur_ns)
+
+let test_span_exception_safety () =
+  with_tracing @@ fun () ->
+  (try
+     Obs.Span.with_ ~name:"outer" (fun () ->
+         Obs.Span.with_ ~name:"inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int)
+    "both spans closed" 2
+    (List.length (Obs.Span.completed ()))
+
+let test_span_export_jsonl () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_
+    ~attrs:(fun () -> [ ("n", J.Int 3) ])
+    ~name:"jsonl_root"
+    (fun () -> Obs.Span.with_ ~name:"jsonl_child" (fun () -> ()));
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Obs.Span.export_jsonl ppf;
+  Format.pp_print_flush ppf ();
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one line per span" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match J.of_string line with
+      | J.Obj _ -> ()
+      | _ -> Alcotest.fail "jsonl line is not an object"
+      | exception J.Parse_error msg ->
+          Alcotest.failf "malformed jsonl line %S: %s" line msg)
+    lines;
+  let root =
+    List.find
+      (fun l -> J.member "name" (J.of_string l) = Some (J.Str "jsonl_root"))
+      lines
+  in
+  match J.member "attrs" (J.of_string root) with
+  | Some attrs ->
+      Alcotest.(check bool)
+        "attrs survive" true
+        (J.member "n" attrs = Some (J.Int 3))
+  | None -> Alcotest.fail "root span lost its attrs"
+
+let test_span_export_chrome () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_ ~name:"chrome_root" (fun () ->
+      Obs.Span.with_ ~name:"chrome_child" (fun () -> ()));
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Obs.Span.export_chrome ppf;
+  Format.pp_print_flush ppf ();
+  match J.of_string (Buffer.contents buf) with
+  | J.List events ->
+      Alcotest.(check int) "one event per span" 2 (List.length events);
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            "complete event" true
+            (J.member "ph" e = Some (J.Str "X"));
+          Alcotest.(check bool)
+            "has ts and dur" true
+            (J.member "ts" e <> None && J.member "dur" e <> None))
+        events
+  | _ -> Alcotest.fail "chrome export is not a JSON array"
+
+(* ------------------------------------------------------------------ *)
+(* Disabled-path allocation guarantee                                  *)
+(* ------------------------------------------------------------------ *)
+
+let minor_words_of f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+(* closures hoisted so the loop below performs zero allocation itself;
+   what remains measurable is with_'s own disabled path *)
+let hot_acc = ref 0
+let hot_attrs () = [ ("i", J.Int 1) ]
+let hot_attrs_opt = Some hot_attrs
+let hot_body () = incr hot_acc
+
+let test_disabled_span_no_alloc () =
+  Obs.Span.disable ();
+  let body () =
+    for _ = 1 to 100 do
+      Obs.Span.with_ ?attrs:hot_attrs_opt ~name:"hot" hot_body
+    done
+  in
+  body ();
+  (* warmed up: the disabled path must not allocate at all *)
+  Alcotest.(check (float 0.0)) "no minor allocation" 0.0 (minor_words_of body);
+  Alcotest.(check bool) "side effect ran" true (!hot_acc > 0)
+
+let test_synth_fast_path_unaffected () =
+  (* NANOXCOMP_TRACE unset in the test runner: synthesize must not
+     record any spans, and metrics alone must keep counting *)
+  Obs.Span.disable ();
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  let f = Nxc_logic.Parse.expr "x1x2 + x1'x2'" in
+  let impl = Nxc_core.Synth.synthesize f in
+  Alcotest.(check bool) "verifies" true (Nxc_core.Synth.verify impl);
+  Alcotest.(check int) "no spans recorded" 0
+    (List.length (Obs.Span.completed ()));
+  Alcotest.(check bool)
+    "metrics still count" true
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "synth.functions") > 0);
+  (* with the null sink, synthesize allocates the same amount on every
+     run: the disabled instrumentation contributes exactly nothing *)
+  let words_run2 = minor_words_of (fun () -> ignore (Nxc_core.Synth.synthesize f)) in
+  let words_run3 = minor_words_of (fun () -> ignore (Nxc_core.Synth.synthesize f)) in
+  Alcotest.(check (float 0.0))
+    "steady-state allocation" words_run2 words_run3
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors ] );
+      ( "metrics",
+        [ Alcotest.test_case "counter+gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+          Alcotest.test_case "dump" `Quick test_metrics_dump ] );
+      ( "span",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "jsonl export" `Quick test_span_export_jsonl;
+          Alcotest.test_case "chrome export" `Quick test_span_export_chrome ] );
+      ( "overhead",
+        [ Alcotest.test_case "disabled span allocates nothing" `Quick
+            test_disabled_span_no_alloc;
+          Alcotest.test_case "synth fast path" `Quick
+            test_synth_fast_path_unaffected ] ) ]
