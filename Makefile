@@ -1,4 +1,4 @@
-.PHONY: build test check bench smoke clean
+.PHONY: build test check bench smoke chaos clean
 
 build:
 	dune build @all
@@ -11,6 +11,11 @@ test:
 check:
 	dune build @all
 	dune runtest
+
+# extended chaos sweep: the dune test runs ~250 adversarial cases,
+# this cranks it up; override CHAOS_RUNS/CHAOS_SEED as needed
+chaos:
+	CHAOS_RUNS=$${CHAOS_RUNS:-5000} dune exec test/chaos/chaos.exe
 
 # full experiment sweep; writes BENCH_results.json
 bench:

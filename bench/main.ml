@@ -716,11 +716,68 @@ let timing () =
   List.map (fun (name, ns) -> (name ^ "_ns", J.Float ns)) rows
 
 (* ------------------------------------------------------------------ *)
+(* E16: budgeted computation and graceful degradation                  *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  section "E16" "guard: degradation quality under budget pressure";
+  let module G = Nxc_guard in
+  Format.printf
+    "exact minimization of the benchmark suite under step budgets:@.@.";
+  Format.printf "%-10s %10s %10s %12s@." "budget" "degraded" "equivalent"
+    "avg steps";
+  let headline = ref [] in
+  List.iter
+    (fun steps ->
+      let degraded = ref 0
+      and equiv = ref 0
+      and total = ref 0
+      and used = ref 0 in
+      List.iter
+        (fun b ->
+          let f = b.Nxc_suite.func in
+          let guard = G.Budget.create ~label:"bench" ~steps () in
+          (match Minimize.sop_result ~method_:Minimize.Exact ~guard f with
+          | Ok o ->
+              incr total;
+              if o.Minimize.degraded then incr degraded;
+              if Minimize.verify o.Minimize.cover f then incr equiv
+          | Error _ -> incr total);
+          used := !used + G.Budget.steps_used guard)
+        (Nxc_suite.core ());
+      Format.printf "%-10d %7d/%-2d %7d/%-2d %12.0f@." steps !degraded !total
+        !equiv !total
+        (float_of_int !used /. float_of_int !total);
+      (* every cover, degraded or not, must stay function-equivalent *)
+      assert (!equiv = !total);
+      headline :=
+        (Printf.sprintf "degraded_at_%d" steps, J.Int !degraded) :: !headline)
+    [ 10; 100; 1_000; 100_000 ];
+  (* end-to-end: a hostile chip under a small budget exercises the
+     Blind -> Hybrid -> Greedy escalation ladder *)
+  let f = Parse.expr "x1x2 + x1'x2'" in
+  let chip =
+    R.Defect.generate (R.Rng.create 11) ~rows:12 ~cols:12
+      (R.Defect.uniform 0.25)
+  in
+  let guard = G.Budget.create ~label:"bench-flow" ~steps:5_000 () in
+  let functional =
+    match C.Flow.run_result ~guard (R.Rng.create 5) ~chip f with
+    | Ok r -> r.C.Flow.functional
+    | Error _ -> false
+  in
+  Format.printf
+    "@.flow on a 25%%-defective 12x12 chip, 5000-step budget: functional=%b@."
+    functional;
+  ("flow_functional", J.Bool functional) :: !headline
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("TIMING", timing) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("TIMING", timing) ]
 
 (* Run one experiment under a wall-clock timer with a fresh metrics
    registry, and capture the headline numbers plus the metric snapshot. *)

@@ -18,6 +18,7 @@ module R = Nxc_reliability
 module Lt = Nxc_lattice
 module C = Nxc_core
 module Obs = Nxc_obs
+module Guard = Nxc_guard
 
 (* ------------------------------------------------------------------ *)
 (* observability flags, shared by every subcommand                     *)
@@ -84,6 +85,59 @@ let obs_term =
   in
   Term.(const obs_setup $ trace $ format $ metrics)
 
+(* ------------------------------------------------------------------ *)
+(* guard flags, shared by every subcommand                             *)
+(* ------------------------------------------------------------------ *)
+
+let guard_setup steps deadline_ms on_exhaustion =
+  if steps <> None || deadline_ms <> None || on_exhaustion = Guard.Budget.Fail
+  then
+    Guard.Budget.set_current
+      (Guard.Budget.create ~label:"cli" ~policy:on_exhaustion ?steps
+         ?deadline_ms ())
+
+let guard_term =
+  let steps =
+    let doc =
+      "Cap the cooperative work budget at $(docv) steps across the whole \
+       pipeline (QM merges, covering nodes, mapping retries, ...)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-steps" ] ~docv:"STEPS" ~doc)
+  in
+  let deadline =
+    let doc = "Give the pipeline a wall-clock deadline of $(docv) ms." in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let on_exhaustion =
+    let doc =
+      "What to do when the budget runs out: $(b,degrade) falls back to \
+       cheaper methods and keeps going (default), $(b,fail) stops with \
+       exit code 4."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("degrade", Guard.Budget.Degrade); ("fail", Guard.Budget.Fail) ])
+          Guard.Budget.Degrade
+      & info [ "on-exhaustion" ] ~docv:"POLICY" ~doc)
+  in
+  Term.(const guard_setup $ steps $ deadline $ on_exhaustion)
+
+(* every subcommand takes both setup terms *)
+let common_term = Term.(const (fun () () -> ()) $ obs_term $ guard_term)
+
+let die_error e =
+  Guard.Error.count e;
+  Format.eprintf "nanoxcomp: %s@." (Guard.Error.to_string e);
+  exit (Guard.Error.exit_code e)
+
 let expr_arg =
   let doc = "Boolean expression over x1, x2, ... (e.g. \"x1x2 + x1'x2'\")." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc)
@@ -98,18 +152,20 @@ let density_arg =
     & info [ "density"; "d" ] ~docv:"D" ~doc:"defect density (fraction)")
 
 let parse_or_die expr =
-  match Parse.expr expr with
-  | f -> f
-  | exception Parse.Parse_error msg ->
-      Format.eprintf "parse error: %s@." msg;
-      exit 2
+  match Parse.expr_result expr with Ok f -> f | Error e -> die_error e
 
 (* ------------------------------------------------------------------ *)
 
 let synth_cmd =
   let run () expr show_lattice =
     let f = parse_or_die expr in
-    let impl = C.Synth.synthesize f in
+    let impl =
+      match C.Synth.synthesize_result f with
+      | Ok impl -> impl
+      | Error e -> die_error e
+    in
+    if impl.C.Synth.degraded then
+      Format.eprintf "note: budget exhausted, synthesis degraded@.";
     let s = C.Synth.sizes impl in
     print_endline C.Report.size_header;
     print_endline (C.Report.size_row s);
@@ -129,7 +185,7 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"synthesize a function on all technologies")
-    Term.(const run $ obs_term $ expr_arg $ show_lattice)
+    Term.(const run $ common_term $ expr_arg $ show_lattice)
 
 let suite_cmd =
   let run () full =
@@ -152,7 +208,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"size comparison over the benchmark suite")
-    Term.(const run $ obs_term $ full)
+    Term.(const run $ common_term $ full)
 
 let bist_cmd =
   let run () rows cols =
@@ -177,7 +233,7 @@ let bist_cmd =
   in
   Cmd.v
     (Cmd.info "bist" ~doc:"test-plan statistics and fault coverage")
-    Term.(const run $ obs_term $ rows $ cols)
+    Term.(const run $ common_term $ rows $ cols)
 
 let scheme_conv =
   let parse = function
@@ -231,7 +287,7 @@ let bism_cmd =
   in
   Cmd.v
     (Cmd.info "bism" ~doc:"built-in self-mapping experiment")
-    Term.(const run $ obs_term $ n $ k $ density_arg $ scheme $ seed_arg $ trials)
+    Term.(const run $ common_term $ n $ k $ density_arg $ scheme $ seed_arg $ trials)
 
 let flow_cmd =
   let run () expr n density seed =
@@ -240,19 +296,23 @@ let flow_cmd =
       R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n
         (R.Defect.uniform density)
     in
-    let result = C.Flow.run (R.Rng.create (seed + 1)) ~chip f in
+    let result =
+      match C.Flow.run_result (R.Rng.create (seed + 1)) ~chip f with
+      | Ok r -> r
+      | Error e -> die_error e
+    in
     let lattice = C.Synth.best_lattice result.C.Flow.impl in
     Format.printf "lattice %dx%d on a %dx%d chip (%.1f%% defects)@."
       (Lt.Lattice.rows lattice) (Lt.Lattice.cols lattice) n n
       (100.0 *. R.Defect.actual_density chip);
     Format.printf "%a@." R.Bism.pp_stats result.C.Flow.bism;
     Format.printf "functional after mapping: %b@." result.C.Flow.functional;
-    exit (if result.C.Flow.functional then 0 else 1)
+    exit (if result.C.Flow.functional then 0 else 5)
   in
   let n = Arg.(value & opt int 24 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
   Cmd.v
     (Cmd.info "flow" ~doc:"end-to-end synthesize, self-map and verify")
-    Term.(const run $ obs_term $ expr_arg $ n $ density_arg $ seed_arg)
+    Term.(const run $ common_term $ expr_arg $ n $ density_arg $ seed_arg)
 
 let yield_cmd =
   let run () n density trials =
@@ -277,7 +337,7 @@ let yield_cmd =
   in
   Cmd.v
     (Cmd.info "yield" ~doc:"defect-unaware flow yield statistics")
-    Term.(const run $ obs_term $ n $ density_arg $ trials)
+    Term.(const run $ common_term $ n $ density_arg $ trials)
 
 let pla_cmd =
   let run () path =
@@ -288,11 +348,9 @@ let pla_cmd =
       close_in ic;
       s
     in
-    match Parse.pla_of_string text with
-    | exception Parse.Parse_error msg ->
-        Format.eprintf "PLA error: %s@." msg;
-        exit 2
-    | p ->
+    match Parse.pla_of_string_result text with
+    | Error e -> die_error e
+    | Ok p ->
         let fs =
           Array.to_list
             (Array.mapi
@@ -331,7 +389,7 @@ let pla_cmd =
   in
   Cmd.v
     (Cmd.info "pla" ~doc:"synthesize every output of a Berkeley PLA file")
-    Term.(const run $ obs_term $ path)
+    Term.(const run $ common_term $ path)
 
 let machine_cmd =
   let run () program n =
@@ -360,7 +418,7 @@ let machine_cmd =
   Cmd.v
     (Cmd.info "machine"
        ~doc:"run a demo program on the lattice-fabric accumulator machine")
-    Term.(const run $ obs_term $ program $ n)
+    Term.(const run $ common_term $ program $ n)
 
 let stats_cmd =
   let run () expr json n density seed =
@@ -386,7 +444,7 @@ let stats_cmd =
        ~doc:
          "run the end-to-end flow once and print the pipeline metrics \
           snapshot")
-    Term.(const run $ obs_term $ expr_arg $ json $ n $ density_arg $ seed_arg)
+    Term.(const run $ common_term $ expr_arg $ json $ n $ density_arg $ seed_arg)
 
 let () =
   (* NANOXCOMP_VERBOSE=debug|info enables library tracing *)
@@ -403,8 +461,18 @@ let () =
     Cmd.info "nanoxcomp" ~version:"1.0.0"
       ~doc:"logic synthesis and fault tolerance for nano-crossbar arrays"
   in
+  (* exit-code contract: 0 ok, 1 internal error, 2 usage, 3 invalid
+     input, 4 budget exhausted without degradation, 5 unsat/non-
+     functional.  Subcommands exit with 1/3/4/5 themselves (via
+     [die_error]); usage and uncaught-exception outcomes are mapped
+     here. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ synth_cmd; suite_cmd; bist_cmd; bism_cmd; flow_cmd; yield_cmd;
-            pla_cmd; machine_cmd; stats_cmd ]))
+    (match
+       Cmd.eval_value
+         (Cmd.group info
+            [ synth_cmd; suite_cmd; bist_cmd; bism_cmd; flow_cmd; yield_cmd;
+              pla_cmd; machine_cmd; stats_cmd ])
+     with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 1)

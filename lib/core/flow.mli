@@ -1,7 +1,12 @@
 (** End-to-end flow (the paper's Fig. 2 pipeline): synthesize a
     function, self-map the resulting lattice onto a partially defective
     physical crossbar with BISM, and verify the mapped circuit still
-    computes the function under the chip's remaining defects. *)
+    computes the function under the chip's remaining defects.
+
+    Robustness: a lattice larger than the chip is reported as a clean
+    non-functional result (never an exception), and every entry point
+    charges a {!Nxc_guard.Budget} (default: the ambient budget) so a
+    hostile chip cannot make the mapping loops spin forever. *)
 
 type result = {
   impl : Synth.t;
@@ -24,11 +29,30 @@ val lattice_with_defects :
 val run :
   ?scheme:Nxc_reliability.Bism.scheme ->
   ?max_configs:int ->
+  ?guard:Nxc_guard.Budget.t ->
   Nxc_reliability.Rng.t ->
   chip:Nxc_reliability.Defect.t ->
   Nxc_logic.Boolfunc.t ->
   result
-(** Default scheme: [Hybrid 10]. *)
+(** Single-scheme run (default scheme: [Hybrid 10]).  An infeasible or
+    unmappable chip yields [{ mapping = None; functional = false; _ }]. *)
+
+val run_result :
+  ?scheme:Nxc_reliability.Bism.scheme ->
+  ?max_configs:int ->
+  ?guard:Nxc_guard.Budget.t ->
+  Nxc_reliability.Rng.t ->
+  chip:Nxc_reliability.Defect.t ->
+  Nxc_logic.Boolfunc.t ->
+  (result, Nxc_guard.Error.t) Stdlib.result
+(** Like {!run} with graceful degradation: when [scheme] is omitted the
+    mapping escalates Blind → Hybrid → Greedy, each rung taking a slice
+    of [max_configs] (total stays capped) and counted under
+    [guard.degrade.flow_escalation] / [flow.escalations].  The returned
+    statistics aggregate all rungs.  A partial outcome (no mapping
+    found) is still [Ok] with [functional = false]; only a [Fail]-policy
+    guard exhausting before a mapping is found turns into
+    [`Budget_exhausted]. *)
 
 (** {2 Defect-aware variant (Fig. 6a)}
 
@@ -45,7 +69,10 @@ type aware_result = {
 
 val run_defect_aware :
   ?attempts:int ->
+  ?guard:Nxc_guard.Budget.t ->
   Nxc_reliability.Rng.t ->
   chip:Nxc_reliability.Defect.t ->
   Nxc_logic.Boolfunc.t ->
   aware_result
+(** An oversized lattice or exhausted guard yields
+    [{ placed = false; _ }] cleanly. *)

@@ -2,9 +2,11 @@ module L = Nxc_logic
 module X = Nxc_crossbar
 module Lt = Nxc_lattice
 module Obs = Nxc_obs
+module Guard = Nxc_guard
 
 let m_functions = Obs.Metrics.counter "synth.functions"
 let m_verifications = Obs.Metrics.counter "synth.verifications"
+let m_degraded = Obs.Metrics.counter "synth.degraded"
 
 type t = {
   func : L.Boolfunc.t;
@@ -16,15 +18,22 @@ type t = {
   ar_lattice : Lt.Lattice.t;
   dec_lattice : Lt.Lattice.t;
   dred_lattice : Lt.Lattice.t option;
+  degraded : bool;
 }
 
-let synthesize ?method_ ?(decompose = true) func =
+let synthesize ?method_ ?(decompose = true) ?guard func =
+  let guard = Guard.Budget.resolve guard in
+  let alive_before = Guard.Budget.alive guard in
   Obs.Metrics.incr m_functions;
   Obs.Span.with_ ~name:"synth.synthesize"
     ~attrs:(fun () ->
       [ ("name", Obs.Json.Str (L.Boolfunc.name func));
         ("n", Obs.Json.Int (L.Boolfunc.n_vars func)) ])
   @@ fun () ->
+  (* the whole pipeline below (including the internal [Minimize.sop]
+     calls of the lattice synthesizers) charges this budget through the
+     ambient mechanism; a Degrade view keeps every internal step total *)
+  Guard.Budget.with_current (Guard.Budget.degrading guard) @@ fun () ->
   let constant = L.Boolfunc.is_const func <> None in
   let f_cover =
     Obs.Span.with_ ~name:"synth.sop" (fun () -> L.Minimize.sop ?method_ func)
@@ -59,7 +68,18 @@ let synthesize ?method_ ?(decompose = true) func =
       (if constant then None
        else
          Obs.Span.with_ ~name:"synth.dred" (fun () ->
-             Lt.Dred_synth.synthesize func)) }
+             Lt.Dred_synth.synthesize func));
+    degraded =
+      (let d = alive_before && Guard.Budget.exhausted guard in
+       if d then Obs.Metrics.incr m_degraded;
+       d) }
+
+let synthesize_result ?method_ ?decompose ?guard func =
+  let guard = Guard.Budget.resolve guard in
+  let impl = synthesize ?method_ ?decompose ~guard func in
+  match Guard.Budget.policy guard with
+  | Guard.Budget.Fail when impl.degraded -> Error (Guard.Budget.error guard)
+  | _ -> Ok impl
 
 let verify impl =
   Obs.Metrics.incr m_verifications;

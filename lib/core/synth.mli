@@ -17,15 +17,32 @@ type t = {
       (** best P-circuit-decomposition lattice *)
   dred_lattice : Nxc_lattice.Lattice.t option;
       (** D-reduction lattice when [func] is D-reducible *)
+  degraded : bool;
+      (** the guard ran out mid-synthesis and at least one step fell
+          back to a cheaper method; every implementation still computes
+          [func] *)
 }
 
 val synthesize :
   ?method_:Nxc_logic.Minimize.method_ ->
   ?decompose:bool ->
+  ?guard:Nxc_guard.Budget.t ->
   Nxc_logic.Boolfunc.t ->
   t
 (** [decompose] (default true) controls whether the P-circuit search is
-    run (it is the slow part for larger functions). *)
+    run (it is the slow part for larger functions).  The whole pipeline
+    charges [guard] (default: the ambient budget) through the ambient
+    mechanism; exhaustion degrades internally (see {!field-degraded})
+    and never raises. *)
+
+val synthesize_result :
+  ?method_:Nxc_logic.Minimize.method_ ->
+  ?decompose:bool ->
+  ?guard:Nxc_guard.Budget.t ->
+  Nxc_logic.Boolfunc.t ->
+  (t, Nxc_guard.Error.t) result
+(** Like {!synthesize}, but a [Fail]-policy guard turns a degraded
+    synthesis into [`Budget_exhausted]. *)
 
 val verify : t -> bool
 (** Every produced implementation computes [func] (exhaustive). *)

@@ -1,0 +1,104 @@
+module Obs = Nxc_obs
+
+type policy = Fail | Degrade
+
+(* the mutable accounting state, shared between policy views of the
+   same budget (see {!degrading}) *)
+type core = {
+  label : string;
+  max_steps : int;  (** [max_int] = uncapped *)
+  deadline_ns : int;  (** [max_int] = none *)
+  start_ns : int;
+  mutable steps : int;
+  mutable dead : bool;
+}
+
+type t = { core : core; policy : policy }
+
+let m_created = Obs.Metrics.counter "guard.budgets"
+let m_exhausted = Obs.Metrics.counter "guard.budget_exhausted"
+let m_degradations = Obs.Metrics.counter "guard.degradations"
+
+(* deadline checks hit the clock only every [check_mask + 1] steps *)
+let check_mask = 63
+
+let unlimited =
+  { core =
+      { label = "unlimited";
+        max_steps = max_int;
+        deadline_ns = max_int;
+        start_ns = 0;
+        steps = 0;
+        dead = false };
+    policy = Degrade }
+
+let create ?(label = "budget") ?(policy = Degrade) ?steps ?deadline_ms () =
+  Obs.Metrics.incr m_created;
+  let start_ns = Obs.Clock.now_ns () in
+  let deadline_ns =
+    match deadline_ms with
+    | None -> max_int
+    | Some ms when ms <= 0.0 -> start_ns
+    | Some ms ->
+        let d = ms *. 1e6 in
+        if d >= float_of_int (max_int - start_ns) then max_int
+        else start_ns + int_of_float d
+  in
+  { core =
+      { label;
+        max_steps = (match steps with None -> max_int | Some s -> max 0 s);
+        deadline_ns;
+        start_ns;
+        steps = 0;
+        dead = false };
+    policy }
+
+let trip c =
+  if not c.dead then begin
+    c.dead <- true;
+    Obs.Metrics.incr m_exhausted
+  end;
+  false
+
+let step { core = c; _ } =
+  if c.dead then false
+  else begin
+    c.steps <- c.steps + 1;
+    if c.steps > c.max_steps then trip c
+    else if
+      c.deadline_ns <> max_int
+      && (c.steps - 1) land check_mask = 0
+      && Obs.Clock.now_ns () >= c.deadline_ns
+    then trip c
+    else true
+  end
+
+let alive t = not t.core.dead
+let exhausted t = t.core.dead
+let steps_used t = t.core.steps
+let policy t = t.policy
+let label t = t.core.label
+let degrading t = if t.policy = Degrade then t else { t with policy = Degrade }
+
+let error t : Error.t =
+  let c = t.core in
+  `Budget_exhausted
+    { Error.label = c.label;
+      steps = c.steps;
+      elapsed_ns =
+        (if c.start_ns = 0 then 0 else Obs.Clock.now_ns () - c.start_ns) }
+
+let degrade site =
+  Obs.Metrics.incr m_degradations;
+  Obs.Metrics.incr (Obs.Metrics.counter ("guard.degrade." ^ site))
+
+let cur = ref unlimited
+let current () = !cur
+let set_current t = cur := t
+
+let with_current t f =
+  let saved = !cur in
+  cur := t;
+  Fun.protect ~finally:(fun () -> cur := saved) f
+
+let resolve = function Some g -> g | None -> !cur

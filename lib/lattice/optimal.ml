@@ -1,5 +1,6 @@
 module L = Nxc_logic
 module Obs = Nxc_obs
+module Guard = Nxc_guard
 
 let m_candidates = Obs.Metrics.counter "lattice.candidates_tried"
 let m_searches = Obs.Metrics.counter "lattice.optimal_searches"
@@ -17,7 +18,9 @@ let dims_of_area area =
   in
   go 1 []
 
-let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true) f =
+let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true)
+    ?guard f =
+  let guard = Guard.Budget.resolve guard in
   let n = L.Boolfunc.n_vars f in
   let alphabet =
     List.concat_map
@@ -52,7 +55,8 @@ let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true) f =
     let continue_ = ref true in
     while !continue_ do
       incr tried;
-      if !tried > budget then raise Out_of_budget;
+      if !tried > budget || not (Guard.Budget.step guard) then
+        raise Out_of_budget;
       let lattice = Lattice.make ~n_vars:(max n 1) (grid ()) in
       if Checker.equivalent lattice f then raise (Hit lattice);
       continue_ := bump (cells - 1)
@@ -83,7 +87,7 @@ let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true) f =
   Obs.Metrics.add m_candidates !tried;
   outcome
 
-let minimum_area ?max_area ?budget f =
-  match search ?max_area ?budget f with
+let minimum_area ?max_area ?budget ?guard f =
+  match search ?max_area ?budget ?guard f with
   | Found lattice -> Some (Lattice.area lattice)
   | Proved_larger _ | Budget_exhausted -> None

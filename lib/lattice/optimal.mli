@@ -16,10 +16,14 @@ type result =
 
 val search :
   ?max_area:int -> ?budget:int -> ?allow_constants:bool ->
-  Nxc_logic.Boolfunc.t -> result
+  ?guard:Nxc_guard.Budget.t -> Nxc_logic.Boolfunc.t -> result
 (** [search f] scans areas [1, 2, ...] up to [max_area] (default 9).
-    [budget] caps total assignments tried (default 5_000_000).
-    [allow_constants] adds 0/1 sites to the alphabet (default true). *)
+    [budget] caps total assignments tried (default 5_000_000); [guard]
+    (default: the ambient budget) is consumed one step per candidate
+    and its exhaustion also yields {!Budget_exhausted} — an explicit
+    inconclusive verdict, never an exception. *)
 
-val minimum_area : ?max_area:int -> ?budget:int -> Nxc_logic.Boolfunc.t -> int option
+val minimum_area :
+  ?max_area:int -> ?budget:int -> ?guard:Nxc_guard.Budget.t ->
+  Nxc_logic.Boolfunc.t -> int option
 (** Area of a minimum lattice if the search concluded. *)

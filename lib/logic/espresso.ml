@@ -1,4 +1,5 @@
 module Obs = Nxc_obs
+module Guard = Nxc_guard
 
 let m_expand_iters = Obs.Metrics.counter "espresso.expand_iters"
 let m_rounds = Obs.Metrics.counter "espresso.rounds"
@@ -96,25 +97,40 @@ let reduce ?dc cover =
   in
   Cover.make n (go [] (Cover.cubes cover))
 
-let minimize ?dc ?(max_rounds = 8) cover =
+let minimize ?dc ?(max_rounds = 8) ?guard cover =
   Obs.Metrics.incr m_calls;
+  let guard = Guard.Budget.resolve guard in
   Obs.Span.with_ ~name:"espresso.minimize" @@ fun () ->
   let semantics = Truth_table.of_cover cover in
-  Obs.Metrics.incr m_rounds;
-  let best = ref (irredundant ?dc (expand ?dc cover)) in
-  let best_cost = ref (cost_of !best) in
-  let current = ref !best in
+  (* anytime loop: [best] is a valid equivalent cover after every
+     assignment, so a tripped guard just returns the best so far (the
+     input cover itself when the very first pass is cut short) *)
+  let exception Out_of_budget in
+  let check () =
+    if not (Guard.Budget.step guard) then raise Out_of_budget
+  in
+  let best = ref cover in
+  let best_cost = ref (cost_of cover) in
   (try
-     for _ = 2 to max_rounds do
-       Obs.Metrics.incr m_rounds;
-       let next = irredundant ?dc (expand ?dc (reduce ?dc !current)) in
-       let c = cost_of next in
-       if compare_cost c !best_cost >= 0 then raise Exit;
-       best := next;
-       best_cost := c;
-       current := next
-     done
-   with Exit -> ());
+     Obs.Metrics.incr m_rounds;
+     check ();
+     let first = irredundant ?dc (expand ?dc cover) in
+     best := first;
+     best_cost := cost_of first;
+     let current = ref first in
+     (try
+        for _ = 2 to max_rounds do
+          Obs.Metrics.incr m_rounds;
+          check ();
+          let next = irredundant ?dc (expand ?dc (reduce ?dc !current)) in
+          let c = cost_of next in
+          if compare_cost c !best_cost >= 0 then raise Exit;
+          best := next;
+          best_cost := c;
+          current := next
+        done
+      with Exit -> ())
+   with Out_of_budget -> Guard.Budget.degrade "espresso_early_stop");
   (* the loop must preserve the ON-set (and may only add DC minterms) *)
   let result_tt = Truth_table.of_cover !best in
   assert (Truth_table.implies semantics result_tt);

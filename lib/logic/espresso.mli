@@ -25,9 +25,14 @@ val reduce : ?dc:Cover.t -> Cover.t -> Cover.t
 (** Shrink each cube to the smallest cube still covering its private
     minterms — sets up the next expansion round. *)
 
-val minimize : ?dc:Cover.t -> ?max_rounds:int -> Cover.t -> Cover.t
+val minimize :
+  ?dc:Cover.t -> ?max_rounds:int -> ?guard:Nxc_guard.Budget.t -> Cover.t ->
+  Cover.t
 (** Run the loop to a fixpoint of the cost (at most [max_rounds],
     default 8).  The result covers the ON-set and stays inside
-    [on + dc]. *)
+    [on + dc].  The loop is {e anytime}: one [guard] step is consumed
+    per round (default: the ambient budget) and exhaustion returns the
+    best cover found so far — the input itself in the worst case —
+    counting a [guard.degrade.espresso_early_stop]. *)
 
 val minimize_table : ?max_rounds:int -> Truth_table.t -> Cover.t

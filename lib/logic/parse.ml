@@ -1,6 +1,29 @@
+module Guard = Nxc_guard
+
 exception Parse_error of string
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+(* internal escape carrying the typed error; converted to [result] or
+   re-raised as [Parse_error] at the public boundary *)
+exception Err of Guard.Error.t
+
+let err ?line ?column fmt =
+  Format.kasprintf
+    (fun s -> raise (Err (Guard.Error.invalid_input ?line ?column s)))
+    fmt
+
+(* hard input caps: parsing is linear, but everything downstream
+   (truth tables, covers) is not — reject absurd inputs at the door *)
+let max_expr_bytes = 65_536
+let max_pla_line_bytes = 4_096
+let max_pla_outputs = 65_536
+
+let check_ascii ?line s =
+  String.iteri
+    (fun i c ->
+      let code = Char.code c in
+      if (code < 32 && c <> '\t' && c <> '\n' && c <> '\r') || code > 126 then
+        err ?line ~column:(i + 1) "non-ASCII or control byte 0x%02x" code)
+    s
 
 (* ------------------------------------------------------------------ *)
 (* Expression syntax                                                   *)
@@ -17,34 +40,48 @@ type token =
   | Tlpar
   | Trpar
 
+(* tokens carry their 1-based column so parse errors can point at the
+   offending byte *)
 let tokenize s =
+  if String.length s > max_expr_bytes then
+    err "expression longer than %d bytes" max_expr_bytes;
+  check_ascii s;
   let toks = ref [] in
   let i = ref 0 in
   let len = String.length s in
   while !i < len do
     let c = s.[!i] in
+    let col = !i + 1 in
+    let push t = toks := (t, col) :: !toks in
     (match c with
     | ' ' | '\t' | '\n' | '\r' -> ()
-    | '+' -> toks := Tplus :: !toks
-    | '*' | '.' | '&' -> toks := Tstar :: !toks
-    | '^' -> toks := Txor :: !toks
-    | '~' | '!' -> toks := Tnot :: !toks
-    | '\'' -> toks := Tprime :: !toks
-    | '(' -> toks := Tlpar :: !toks
-    | ')' -> toks := Trpar :: !toks
-    | '0' -> toks := Tconst false :: !toks
-    | '1' -> toks := Tconst true :: !toks
+    | '+' -> push Tplus
+    | '*' | '.' | '&' -> push Tstar
+    | '^' -> push Txor
+    | '~' | '!' -> push Tnot
+    | '\'' -> push Tprime
+    | '(' -> push Tlpar
+    | ')' -> push Trpar
+    | '0' -> push (Tconst false)
+    | '1' -> push (Tconst true)
     | 'x' | 'X' ->
         let j = ref (!i + 1) in
         while !j < len && s.[!j] >= '0' && s.[!j] <= '9' do
           incr j
         done;
-        if !j = !i + 1 then fail "variable needs an index at position %d" !i;
-        let idx = int_of_string (String.sub s (!i + 1) (!j - !i - 1)) in
-        if idx < 1 then fail "variables are 1-based";
-        toks := Tvar (idx - 1) :: !toks;
+        if !j = !i + 1 then err ~column:col "variable needs an index";
+        let idx =
+          match int_of_string_opt (String.sub s (!i + 1) (!j - !i - 1)) with
+          | Some v -> v
+          | None -> err ~column:col "variable index out of range"
+        in
+        if idx < 1 then err ~column:col "variables are 1-based";
+        if idx > Cube.max_vars then
+          err ~column:col "variable index %d exceeds the %d-variable limit"
+            idx Cube.max_vars;
+        push (Tvar (idx - 1));
         i := !j - 1
-    | c -> fail "unexpected character %c" c);
+    | c -> err ~column:col "unexpected character %c" c);
     incr i
   done;
   List.rev !toks
@@ -63,8 +100,14 @@ type ast =
    atom := var | const | ( or ) *)
 let parse_tokens toks =
   let toks = ref toks in
-  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let peek () = match !toks with [] -> None | (t, _) :: _ -> Some t in
+  let col () = match !toks with [] -> None | (_, c) :: _ -> Some c in
   let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let perr fmt =
+    match col () with
+    | Some column -> err ~column fmt
+    | None -> err fmt
+  in
   let rec p_or () =
     let a = ref (p_xor ()) in
     let rec loop () =
@@ -129,12 +172,12 @@ let parse_tokens toks =
         let a = p_or () in
         (match peek () with
         | Some Trpar -> advance ()
-        | _ -> fail "missing closing parenthesis");
+        | _ -> perr "missing closing parenthesis");
         a
-    | _ -> fail "expected a variable, constant or parenthesis"
+    | _ -> perr "expected a variable, constant or parenthesis"
   in
   let a = p_or () in
-  if !toks <> [] then fail "trailing tokens";
+  if !toks <> [] then perr "trailing tokens";
   a
 
 let rec max_var = function
@@ -152,26 +195,28 @@ let rec eval_ast a m =
   | Or (a, b) -> eval_ast a m || eval_ast b m
   | Xor (a, b) -> eval_ast a m <> eval_ast b m
 
-let expr ?n s =
-  let ast = parse_tokens (tokenize s) in
+let arity_of ?n ~table ast =
+  let used = max_var ast in
   let n =
     match n with
     | Some n ->
-        if n < max_var ast then fail "forced arity smaller than used variables";
+        if n < used then err "forced arity smaller than used variables";
         n
-    | None -> max_var ast
+    | None -> used
   in
+  if table && n > Truth_table.max_vars then
+    err "%d variables exceed the %d-variable truth-table limit" n
+      Truth_table.max_vars;
+  n
+
+let expr_impl ?n s =
+  let ast = parse_tokens (tokenize s) in
+  let n = arity_of ?n ~table:true ast in
   Boolfunc.of_fun_int ~name:s n (eval_ast ast)
 
-let expr_cover ?n s =
+let expr_cover_impl ?n s =
   let ast = parse_tokens (tokenize s) in
-  let arity =
-    match n with
-    | Some n ->
-        if n < max_var ast then fail "forced arity smaller than used variables";
-        n
-    | None -> max_var ast
-  in
+  let arity = arity_of ?n ~table:false ast in
   (* flatten OR of AND of (possibly negated) vars; anything else is
      rejected so the products are preserved exactly *)
   let rec sum acc = function
@@ -183,7 +228,7 @@ let expr_cover ?n s =
     | Var v -> (v, Cube.Pos) :: acc
     | Not (Var v) -> (v, Cube.Neg) :: acc
     | Const true when acc = [] -> acc
-    | _ -> fail "expr_cover: not in sum-of-products form"
+    | _ -> err "expr_cover: not in sum-of-products form"
   in
   let terms = sum [] ast in
   let cubes =
@@ -209,50 +254,83 @@ type pla = {
   dc_sets : Cover.t array;
 }
 
-let pla_of_string text =
+let pla_of_string_impl text =
+  (* keep 1-based line numbers through the comment/blank filtering *)
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && not (String.length l >= 1 && l.[0] = '#'))
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter_map (fun (ln, l) ->
+           if String.length l > max_pla_line_bytes then
+             err ~line:ln "line longer than %d bytes" max_pla_line_bytes;
+           check_ascii ~line:ln l;
+           let l = String.trim l in
+           if l = "" || l.[0] = '#' then None else Some (ln, l))
   in
   let inputs = ref None
   and outputs = ref None
   and ilb = ref None
   and olb = ref None in
   let rows = ref [] in
-  let directive line =
+  let int_directive ln name v ~min ~max_ ~limit_what =
+    match int_of_string_opt v with
+    | None -> err ~line:ln "%s expects an integer, got %S" name v
+    | Some x when x < min -> err ~line:ln "%s %d must be at least %d" name x min
+    | Some x when x > max_ ->
+        err ~line:ln "%s %d exceeds the %s limit of %d" name x limit_what max_
+    | Some x -> x
+  in
+  let directive ln line =
     match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-    | ".i" :: v :: _ -> inputs := Some (int_of_string v)
-    | ".o" :: v :: _ -> outputs := Some (int_of_string v)
+    | ".i" :: v :: _ ->
+        inputs :=
+          Some
+            (int_directive ln ".i" v ~min:1 ~max_:Cube.max_vars
+               ~limit_what:"cube-width")
+    | ".o" :: v :: _ ->
+        outputs :=
+          Some
+            (int_directive ln ".o" v ~min:1 ~max_:max_pla_outputs
+               ~limit_what:"output-count")
+    | [ ".i" ] -> err ~line:ln ".i needs a value"
+    | [ ".o" ] -> err ~line:ln ".o needs a value"
     | ".p" :: _ | ".type" :: _ -> ()
     | ".ilb" :: names -> ilb := Some names
     | ".ob" :: names -> olb := Some names
     | ".e" :: _ | ".end" :: _ -> ()
-    | d :: _ -> fail "unknown PLA directive %s" d
+    | d :: _ -> err ~line:ln "unknown PLA directive %s" d
     | [] -> ()
   in
   List.iter
-    (fun line ->
-      if line.[0] = '.' then directive line
-      else rows := line :: !rows)
+    (fun (ln, line) ->
+      if line.[0] = '.' then directive ln line else rows := (ln, line) :: !rows)
     lines;
-  let ni = match !inputs with Some n -> n | None -> fail "missing .i" in
-  let no = match !outputs with Some n -> n | None -> fail "missing .o" in
+  let ni = match !inputs with Some n -> n | None -> err "missing .i" in
+  let no = match !outputs with Some n -> n | None -> err "missing .o" in
+  (match !ilb with
+  | Some names when List.length names <> ni ->
+      err ".ilb has %d names for %d inputs" (List.length names) ni
+  | _ -> ());
+  (match !olb with
+  | Some names when List.length names <> no ->
+      err ".ob has %d names for %d outputs" (List.length names) no
+  | _ -> ());
   let on = Array.make no [] and dc = Array.make no [] in
   List.iter
-    (fun row ->
-      let parts =
-        String.split_on_char ' ' row |> List.filter (( <> ) "")
-      in
+    (fun (ln, row) ->
+      let parts = String.split_on_char ' ' row |> List.filter (( <> ) "") in
       let ipart, opart =
         match parts with
         | [ i; o ] -> (i, o)
         | [ io ] when String.length io = ni + no ->
             (String.sub io 0 ni, String.sub io ni no)
-        | _ -> fail "malformed PLA row %S" row
+        | _ -> err ~line:ln "malformed PLA row %S" row
       in
-      if String.length ipart <> ni then fail "bad input part %S" ipart;
-      if String.length opart <> no then fail "bad output part %S" opart;
+      if String.length ipart <> ni then
+        err ~line:ln "input part %S has %d characters, .i says %d" ipart
+          (String.length ipart) ni;
+      if String.length opart <> no then
+        err ~line:ln "output part %S has %d characters, .o says %d" opart
+          (String.length opart) no;
       let lits = ref [] in
       String.iteri
         (fun i c ->
@@ -260,7 +338,7 @@ let pla_of_string text =
           | '1' -> lits := (i, Cube.Pos) :: !lits
           | '0' -> lits := (i, Cube.Neg) :: !lits
           | '-' | '2' -> ()
-          | c -> fail "bad input character %c" c)
+          | c -> err ~line:ln ~column:(i + 1) "bad input character %c" c)
         ipart;
       let cube = Cube.of_literals ni !lits in
       String.iteri
@@ -269,7 +347,8 @@ let pla_of_string text =
           | '1' | '4' -> on.(o) <- cube :: on.(o)
           | '0' -> ()
           | '-' | '~' | '2' | '3' -> dc.(o) <- cube :: dc.(o)
-          | c -> fail "bad output character %c" c)
+          | c ->
+              err ~line:ln ~column:(ni + o + 1) "bad output character %c" c)
         opart)
     (List.rev !rows);
   { inputs = ni;
@@ -279,6 +358,24 @@ let pla_of_string text =
     on_sets = Array.map (fun cs -> Cover.make ni cs) on;
     dc_sets = Array.map (fun cs -> Cover.make ni cs) dc }
 
+(* ------------------------------------------------------------------ *)
+(* Public boundary: result variants and legacy exception variants      *)
+(* ------------------------------------------------------------------ *)
+
+let wrap f = match f () with v -> Ok v | exception Err e -> Error e
+
+let legacy f =
+  match f () with
+  | v -> v
+  | exception Err e -> raise (Parse_error (Guard.Error.to_string e))
+
+let expr_result ?n s = wrap (fun () -> expr_impl ?n s)
+let expr ?n s = legacy (fun () -> expr_impl ?n s)
+let expr_cover_result ?n s = wrap (fun () -> expr_cover_impl ?n s)
+let expr_cover ?n s = legacy (fun () -> expr_cover_impl ?n s)
+let pla_of_string_result text = wrap (fun () -> pla_of_string_impl text)
+let pla_of_string text = legacy (fun () -> pla_of_string_impl text)
+
 let cube_to_pla_input n c =
   String.init n (fun i ->
       match Cube.polarity_of c i with
@@ -286,16 +383,29 @@ let cube_to_pla_input n c =
       | Some Pos -> '1'
       | Some Neg -> '0')
 
+(* labels land in space-separated .ilb/.ob directives, so whitespace
+   inside a name would change the token count and make the emitted text
+   unparseable; squash it (function names are often full expressions) *)
+let sanitize_label s =
+  let s = if s = "" then "_" else s in
+  String.map
+    (fun ch -> match ch with ' ' | '\t' | '\n' | '\r' -> '_' | c -> c)
+    s
+
 let pla_to_string p =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n" p.inputs p.outputs);
+  let add_labels directive names =
+    Buffer.add_string buf
+      (directive ^ " "
+      ^ String.concat " " (List.map sanitize_label names)
+      ^ "\n")
+  in
   (match p.input_labels with
-  | Some names ->
-      Buffer.add_string buf (".ilb " ^ String.concat " " names ^ "\n")
+  | Some names -> add_labels ".ilb" names
   | None -> ());
   (match p.output_labels with
-  | Some names ->
-      Buffer.add_string buf (".ob " ^ String.concat " " names ^ "\n")
+  | Some names -> add_labels ".ob" names
   | None -> ());
   (* group rows by input cube so shared products print once *)
   let tbl = Hashtbl.create 64 in

@@ -13,18 +13,36 @@
     The Berkeley [.pla] subset: [.i], [.o], [.p] (optional), [.ilb],
     [.ob], [.e]/[.end]; cube lines over [0 1 -] with output parts over
     [0 1 ~ -].  Output value [-] / [~] is treated as don't-care and [~]
-    rows are ignored (type fr semantics for the care set). *)
+    rows are ignored (type fr semantics for the care set).
+
+    {2 Robustness}
+
+    Both parsers validate their input strictly: non-ASCII and control
+    bytes, malformed variable literals, out-of-range indices and
+    arities, inconsistent PLA row widths and overlong inputs
+    (expressions over 64 KiB, PLA lines over 4 KiB) are all rejected.
+    The [_result] variants report a {!Nxc_guard.Error.t}
+    ([`Invalid_input] carrying 1-based line/column where known); the
+    legacy variants raise {!Parse_error} with the same rendered
+    message. *)
 
 exception Parse_error of string
 
 val expr : ?n:int -> string -> Boolfunc.t
 (** Parse an expression.  [n] forces the variable count; it defaults to
-    the highest variable index used.  Raises {!Parse_error}. *)
+    the highest variable index used.  The arity is capped at
+    [Truth_table.max_vars].  Raises {!Parse_error}. *)
+
+val expr_result :
+  ?n:int -> string -> (Boolfunc.t, Nxc_guard.Error.t) result
 
 val expr_cover : ?n:int -> string -> Cover.t
 (** Parse an expression that is syntactically a sum of products (no
     parentheses or XOR) directly into a cover, preserving its products
     verbatim. *)
+
+val expr_cover_result :
+  ?n:int -> string -> (Cover.t, Nxc_guard.Error.t) result
 
 type pla = {
   inputs : int;
@@ -37,6 +55,8 @@ type pla = {
 
 val pla_of_string : string -> pla
 (** Raises {!Parse_error} on malformed input. *)
+
+val pla_of_string_result : string -> (pla, Nxc_guard.Error.t) result
 
 val pla_to_string : pla -> string
 

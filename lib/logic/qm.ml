@@ -1,4 +1,5 @@
 module Obs = Nxc_obs
+module Guard = Nxc_guard
 
 let m_calls = Obs.Metrics.counter "qm.minimize_calls"
 let m_primes = Obs.Metrics.counter "qm.prime_implicants"
@@ -6,10 +7,14 @@ let m_nodes = Obs.Metrics.counter "qm.bnb_nodes"
 let m_budget_exhausted = Obs.Metrics.counter "qm.budget_exhausted"
 let h_primes = Obs.Metrics.histogram "qm.primes_per_call"
 
-let primes ~n ~on ~dc =
+exception Guard_exhausted
+
+(* level sets of implicants as cubes; merge cubes at Hamming distance 1
+   with equal masks until a fixpoint.  [guard] is consumed once per
+   merge attempt — the pair scan is the exponential part of QM — and
+   exhaustion raises {!Guard_exhausted}. *)
+let primes_guarded guard ~n ~on ~dc =
   let care = List.sort_uniq compare (on @ dc) in
-  (* level sets of implicants as cubes; merge cubes at Hamming distance 1
-     with equal masks until a fixpoint *)
   let current = ref (List.map (Cube.of_minterm n) care) in
   let prime_acc = ref [] in
   let continue_ = ref (!current <> []) in
@@ -21,6 +26,7 @@ let primes ~n ~on ~dc =
     (* bucket by popcount of positive bits to limit the pair scan *)
     for i = 0 to k - 1 do
       for j = i + 1 to k - 1 do
+        if not (Guard.Budget.step guard) then raise Guard_exhausted;
         match Cube.merge arr.(i) arr.(j) with
         | Some m ->
             Hashtbl.replace next m ();
@@ -39,12 +45,14 @@ let primes ~n ~on ~dc =
   done;
   List.sort_uniq Cube.compare !prime_acc
 
+let primes ~n ~on ~dc = primes_guarded Guard.Budget.unlimited ~n ~on ~dc
+
 type stats = { num_primes : int; num_essential : int; exact : bool }
 
 (* Branch and bound over the covering problem: minimize the number of
    chosen primes covering all ON minterms.  [budget] caps explored
-   nodes. *)
-let cover_exact primes_arr on_list budget =
+   nodes; [guard] is consumed once per node. *)
+let cover_exact guard primes_arr on_list budget =
   let nodes = ref 0 in
   let best = ref None in
   let best_size = ref max_int in
@@ -62,7 +70,7 @@ let cover_exact primes_arr on_list budget =
   let exception Budget in
   let rec go chosen n_chosen uncovered =
     incr nodes;
-    if !nodes > budget then raise Budget;
+    if !nodes > budget || not (Guard.Budget.step guard) then raise Budget;
     match uncovered with
     | [] ->
         if n_chosen < !best_size then begin
@@ -116,63 +124,99 @@ let greedy_cover primes_arr on_list =
   done;
   !chosen
 
-let minimize ?(dc = []) ?(budget = 200_000) ~n on =
+(* ISOP over the [on <= g <= on + dc] interval: the graceful-degradation
+   target when the guard trips during prime generation.  Polynomial in
+   the table size, so it terminates promptly even with a dead guard. *)
+let isop_fallback ~n ~on ~dc =
+  let lower = Truth_table.of_minterms n on in
+  let upper =
+    match dc with
+    | [] -> lower
+    | dc -> Truth_table.bor lower (Truth_table.of_minterms n dc)
+  in
+  Isop.isop ~lower upper
+
+let minimize_with guard ~dc ~budget ~n on =
   Obs.Metrics.incr m_calls;
   Obs.Span.with_ ~name:"qm.minimize"
     ~attrs:(fun () -> [ ("n", Obs.Json.Int n) ])
   @@ fun () ->
   let on = List.sort_uniq compare on in
-  if on = [] then (Cover.bottom n, { num_primes = 0; num_essential = 0; exact = true })
+  if on = [] then
+    Ok (Cover.bottom n, { num_primes = 0; num_essential = 0; exact = true })
   else
-    let ps = primes ~n ~on ~dc in
-    Obs.Metrics.add m_primes (List.length ps);
-    Obs.Metrics.observe h_primes (List.length ps);
-    let primes_arr = Array.of_list ps in
-    (* essential primes: sole cover of some ON minterm *)
-    let essential = Hashtbl.create 16 in
-    List.iter
-      (fun m ->
-        let who = ref [] in
-        Array.iteri
-          (fun i p -> if Cube.eval_int p m then who := i :: !who)
-          primes_arr;
-        match !who with
-        | [ i ] -> Hashtbl.replace essential i ()
-        | _ -> ())
-      on;
-    let essential_idx = Hashtbl.fold (fun i () acc -> i :: acc) essential [] in
-    let covered m =
-      List.exists (fun i -> Cube.eval_int primes_arr.(i) m) essential_idx
-    in
-    let remaining = List.filter (fun m -> not (covered m)) on in
-    let rest_primes =
-      Array.of_list
-        (List.filteri
-           (fun i _ -> not (Hashtbl.mem essential i))
-           (Array.to_list primes_arr))
-    in
-    let rest_choice, exact =
-      if remaining = [] then (Some [], true)
-      else
-        match cover_exact rest_primes remaining budget with
-        | Some sol, ex -> (Some sol, ex)
-        | None, _ -> (Some (greedy_cover rest_primes remaining), false)
-    in
-    let rest_cubes =
-      match rest_choice with
-      | Some idxs -> List.map (fun i -> rest_primes.(i)) idxs
-      | None -> []
-    in
-    let cubes =
-      List.map (fun i -> primes_arr.(i)) essential_idx @ rest_cubes
-    in
-    ( Cover.make n cubes,
-      { num_primes = Array.length primes_arr;
-        num_essential = List.length essential_idx;
-        exact } )
+    match primes_guarded guard ~n ~on ~dc with
+    | exception Guard_exhausted ->
+        Obs.Metrics.incr m_budget_exhausted;
+        Error (Guard.Budget.error guard)
+    | ps ->
+        Obs.Metrics.add m_primes (List.length ps);
+        Obs.Metrics.observe h_primes (List.length ps);
+        let primes_arr = Array.of_list ps in
+        (* essential primes: sole cover of some ON minterm *)
+        let essential = Hashtbl.create 16 in
+        List.iter
+          (fun m ->
+            let who = ref [] in
+            Array.iteri
+              (fun i p -> if Cube.eval_int p m then who := i :: !who)
+              primes_arr;
+            match !who with
+            | [ i ] -> Hashtbl.replace essential i ()
+            | _ -> ())
+          on;
+        let essential_idx =
+          Hashtbl.fold (fun i () acc -> i :: acc) essential []
+        in
+        let covered m =
+          List.exists (fun i -> Cube.eval_int primes_arr.(i) m) essential_idx
+        in
+        let remaining = List.filter (fun m -> not (covered m)) on in
+        let rest_primes =
+          Array.of_list
+            (List.filteri
+               (fun i _ -> not (Hashtbl.mem essential i))
+               (Array.to_list primes_arr))
+        in
+        let rest_choice, exact =
+          if remaining = [] then (Some [], true)
+          else
+            match cover_exact guard rest_primes remaining budget with
+            | Some sol, ex -> (Some sol, ex)
+            | None, _ -> (Some (greedy_cover rest_primes remaining), false)
+        in
+        let rest_cubes =
+          match rest_choice with
+          | Some idxs -> List.map (fun i -> rest_primes.(i)) idxs
+          | None -> []
+        in
+        let cubes =
+          List.map (fun i -> primes_arr.(i)) essential_idx @ rest_cubes
+        in
+        Ok
+          ( Cover.make n cubes,
+            { num_primes = Array.length primes_arr;
+              num_essential = List.length essential_idx;
+              exact } )
 
-let minimize_table ?budget tt =
+let minimize_result ?(dc = []) ?(budget = 200_000) ?guard ~n on =
+  let guard = Guard.Budget.resolve guard in
+  minimize_with guard ~dc ~budget ~n on
+
+let minimize ?(dc = []) ?(budget = 200_000) ?guard ~n on =
+  let guard = Guard.Budget.resolve guard in
+  match minimize_with guard ~dc ~budget ~n on with
+  | Ok r -> r
+  | Error _ ->
+      (* graceful degradation: prime generation ran out of budget; an
+         ISOP cover of the same (on, dc) interval is still function-
+         equivalent, just not minimal *)
+      Guard.Budget.degrade "qm_to_isop";
+      ( isop_fallback ~n ~on ~dc,
+        { num_primes = 0; num_essential = 0; exact = false } )
+
+let minimize_table ?budget ?guard tt =
   let n = Truth_table.n_vars tt in
-  minimize ?budget ~n (Truth_table.minterms tt)
+  minimize ?budget ?guard ~n (Truth_table.minterms tt)
 
-let minimize_func ?budget f = minimize_table ?budget (Boolfunc.table f)
+let minimize_func ?budget ?guard f = minimize_table ?budget ?guard (Boolfunc.table f)

@@ -3,25 +3,57 @@
     Prime implicant generation by iterative merging, then a covering
     step: essential primes first, remaining minterms by branch-and-bound
     (exact, with a node budget) falling back to greedy set cover when
-    the budget is exhausted. *)
+    the budget is exhausted.
+
+    Both phases are exponential in the worst case, so they cooperate
+    with a {!Nxc_guard.Budget}: one step is consumed per merge attempt
+    and per branch-and-bound node.  When the guard trips during the
+    covering step the usual greedy fallback applies (the prime set is
+    complete, so the result stays function-equivalent); when it trips
+    during prime {e generation} the implicant set is unusable, and
+    {!minimize} degrades to a Minato–Morreale ISOP cover of the same
+    [(on, dc)] interval — still correct, not minimal — while
+    {!minimize_result} reports [`Budget_exhausted] so callers with a
+    [Fail] policy can refuse to degrade. *)
 
 val primes : n:int -> on:int list -> dc:int list -> Cube.t list
 (** All prime implicants of the function given by ON-set and DC-set
-    minterms. *)
+    minterms.  Unbudgeted (never degrades): intended for tests and
+    calibration. *)
 
 type stats = {
-  num_primes : int;
+  num_primes : int;  (** 0 when prime generation was cut short *)
   num_essential : int;
-  exact : bool;  (** false when the covering step fell back to greedy *)
+  exact : bool;  (** false when any covering fallback was taken *)
 }
 
 val minimize :
-  ?dc:int list -> ?budget:int -> n:int -> int list -> Cover.t * stats
+  ?dc:int list ->
+  ?budget:int ->
+  ?guard:Nxc_guard.Budget.t ->
+  n:int ->
+  int list ->
+  Cover.t * stats
 (** [minimize ~n on] is a minimum (or near-minimum, see
     {!field-stats.exact}) cover of the ON-set minterms using the DC-set
     freely.  [budget] bounds the branch-and-bound node count (default
-    200_000). *)
+    200_000); [guard] (default: the ambient budget) bounds total work.
+    Total: on guard exhaustion it returns the degraded ISOP cover
+    described above and counts a [guard.degrade.qm_to_isop]. *)
 
-val minimize_table : ?budget:int -> Truth_table.t -> Cover.t * stats
+val minimize_result :
+  ?dc:int list ->
+  ?budget:int ->
+  ?guard:Nxc_guard.Budget.t ->
+  n:int ->
+  int list ->
+  (Cover.t * stats, Nxc_guard.Error.t) result
+(** Like {!minimize} but reports [`Budget_exhausted] instead of
+    computing the ISOP fallback when the guard trips during prime
+    generation. *)
 
-val minimize_func : ?budget:int -> Boolfunc.t -> Cover.t * stats
+val minimize_table :
+  ?budget:int -> ?guard:Nxc_guard.Budget.t -> Truth_table.t -> Cover.t * stats
+
+val minimize_func :
+  ?budget:int -> ?guard:Nxc_guard.Budget.t -> Boolfunc.t -> Cover.t * stats

@@ -3,6 +3,7 @@ let src = Logs.Src.create "nxc.bism" ~doc:"built-in self-mapping"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 module Obs = Nxc_obs
+module Guard = Nxc_guard
 
 let m_runs = Obs.Metrics.counter "bism.runs"
 let m_successes = Obs.Metrics.counter "bism.successes"
@@ -93,8 +94,9 @@ let check_feasible chip ~k_rows ~k_cols =
     invalid_arg "Bism.run: logical array larger than the chip";
   if k_rows <= 0 || k_cols <= 0 then invalid_arg "Bism.run: empty array"
 
-let run rng scheme ~chip ~k_rows ~k_cols ~max_configs =
+let run ?guard rng scheme ~chip ~k_rows ~k_cols ~max_configs =
   check_feasible chip ~k_rows ~k_cols;
+  let guard = Guard.Budget.resolve guard in
   Obs.Metrics.incr m_runs;
   Obs.Span.with_ ~name:"bism.run"
     ~attrs:(fun () ->
@@ -104,6 +106,12 @@ let run rng scheme ~chip ~k_rows ~k_cols ~max_configs =
   let configurations = ref 0
   and test_applications = ref 0
   and diagnoses = ref 0 in
+  (* one guard step per programmed configuration: the expensive unit of
+     BISM work.  A dead guard makes every loop below wind down to the
+     usual "not mapped" outcome instead of raising. *)
+  let config_allowed () =
+    !configurations < max_configs && Guard.Budget.step guard
+  in
   let try_mapping m =
     incr configurations;
     test_applications := !test_applications + tests_per_config;
@@ -118,7 +126,7 @@ let run rng scheme ~chip ~k_rows ~k_cols ~max_configs =
     let m = { row_map = Array.copy start.row_map;
               col_map = Array.copy start.col_map } in
     let rec loop () =
-      if !configurations >= max_configs then None
+      if not (config_allowed ()) then None
       else if try_mapping m then Some m
       else begin
         incr diagnoses;
@@ -154,7 +162,7 @@ let run rng scheme ~chip ~k_rows ~k_cols ~max_configs =
     loop ()
   in
   let rec blind_loop () =
-    if !configurations >= max_configs then None
+    if not (config_allowed ()) then None
     else match blind_step () with Some m -> Some m | None -> blind_loop ()
   in
   let result =
@@ -163,7 +171,10 @@ let run rng scheme ~chip ~k_rows ~k_cols ~max_configs =
     | Greedy -> greedy_loop (random_mapping rng chip ~k_rows ~k_cols)
     | Hybrid blind_budget ->
         let rec blind_phase () =
-          if !configurations >= min blind_budget max_configs then None
+          if
+            !configurations >= min blind_budget max_configs
+            || not (Guard.Budget.step guard)
+          then None
           else
             match blind_step () with
             | Some m -> Some m

@@ -41,9 +41,14 @@ val defective_cells : Defect.t -> mapping -> (int * int) list
     reports to the greedy scheme. *)
 
 val run :
+  ?guard:Nxc_guard.Budget.t ->
   Rng.t -> scheme -> chip:Defect.t -> k_rows:int -> k_cols:int ->
   max_configs:int -> stats * mapping option
 (** Raises [Invalid_argument] when the logical array exceeds the
-    physical one. *)
+    physical one (a programming error; {!Nxc_core.Flow} pre-checks
+    feasibility).  One [guard] step (default: the ambient budget) is
+    consumed per programmed configuration; exhaustion ends every retry
+    loop gracefully with [success = false] and the statistics gathered
+    so far. *)
 
 val pp_stats : Format.formatter -> stats -> unit

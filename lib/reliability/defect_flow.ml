@@ -1,3 +1,5 @@
+module Guard = Nxc_guard
+
 type selection = { sel_rows : int array; sel_cols : int array }
 
 let is_defect_free chip sel =
@@ -84,14 +86,16 @@ let extract chip ~k =
 
 (* Exact branch and bound: at each step find a defective cell inside the
    current selection and branch on deleting its row or its column. *)
-let exact_max ?(budget = 2_000_000) chip =
+let exact_max ?(budget = 2_000_000) ?guard chip =
+  let guard = Guard.Budget.resolve guard in
   let n_r = Defect.rows chip and n_c = Defect.cols chip in
   let best = ref { sel_rows = [||]; sel_cols = [||] } in
   let nodes = ref 0 in
   let exception Out_of_budget in
   let rec go keep_r keep_c alive_r alive_c =
     incr nodes;
-    if !nodes > budget then raise Out_of_budget;
+    if !nodes > budget || not (Guard.Budget.step guard) then
+      raise Out_of_budget;
     if min alive_r alive_c <= recovered_k !best then () (* bound *)
     else begin
       (* find any defective cell in the selection *)
@@ -131,7 +135,7 @@ let exact_max ?(budget = 2_000_000) chip =
     end
   in
   (try go (Array.make n_r true) (Array.make n_c true) n_r n_c
-   with Out_of_budget -> ());
+   with Out_of_budget -> Guard.Budget.degrade "exact_to_greedy");
   (* the greedy result is a valid lower bound; keep the better one *)
   let g = greedy_max chip in
   if recovered_k g > recovered_k !best then g else !best
@@ -191,7 +195,8 @@ let placement_compatible chip lattice rows cols =
     rows;
   !ok
 
-let place_lattice rng chip lattice ~attempts =
+let place_lattice ?guard rng chip lattice ~attempts =
+  let guard = Guard.Budget.resolve guard in
   let lr = Nxc_lattice.Lattice.rows lattice
   and lc = Nxc_lattice.Lattice.cols lattice in
   if lr > Defect.rows chip || lc > Defect.cols chip then None
@@ -228,14 +233,14 @@ let place_lattice rng chip lattice ~attempts =
     in
     let result = ref None in
     let attempt = ref 0 in
-    while !result = None && !attempt < attempts do
+    while !result = None && !attempt < attempts && Guard.Budget.step guard do
       incr attempt;
       let rows = Rng.sample_without_replacement rng lr (Defect.rows chip) in
       let cols = Rng.sample_without_replacement rng lc (Defect.cols chip) in
       (* bounded greedy repair: re-draw the worst row or column *)
       let steps = ref 0 in
       let continue_ = ref true in
-      while !continue_ && !steps < 4 * (lr + lc) do
+      while !continue_ && !steps < 4 * (lr + lc) && Guard.Budget.alive guard do
         incr steps;
         let total, per_row, per_col = conflicts rows cols in
         if total = 0 then begin

@@ -26,9 +26,13 @@ val extract : Defect.t -> k:int -> selection option
 (** A [k x k] defect-free selection via {!greedy_max}; [None] when the
     heuristic recovers fewer than [k]. *)
 
-val exact_max : ?budget:int -> Defect.t -> selection
+val exact_max : ?budget:int -> ?guard:Nxc_guard.Budget.t -> Defect.t -> selection
 (** Branch-and-bound maximum square selection.  Exponential: meant for
-    arrays up to roughly 12x12 (calibration of {!greedy_max}). *)
+    arrays up to roughly 12x12 (calibration of {!greedy_max}).  Total:
+    [budget] caps explored nodes and [guard] (default: the ambient
+    budget) is consumed one step per node; when either trips the
+    function degrades to the best of the partial search and
+    {!greedy_max}, counting a [guard.degrade.exact_to_greedy]. *)
 
 val recovered_k : selection -> int
 
@@ -73,12 +77,15 @@ val pp_cost : Format.formatter -> cost -> unit
 val site_compatible : Defect.kind option -> Nxc_lattice.Lattice.site -> bool
 
 val place_lattice :
+  ?guard:Nxc_guard.Budget.t ->
   Rng.t -> Defect.t -> Nxc_lattice.Lattice.t -> attempts:int ->
   (int array * int array) option
 (** Randomized search with greedy row/column repair for a physical
     (row, column) selection on which every site is compatible.
     Returns (physical rows, physical cols) indexed by lattice
-    coordinates. *)
+    coordinates.  One [guard] step is consumed per attempt and the
+    repair loop stops early on a dead guard, so exhaustion simply
+    yields [None]. *)
 
 val placement_compatible :
   Defect.t -> Nxc_lattice.Lattice.t -> int array -> int array -> bool

@@ -19,11 +19,11 @@ Print the lattice grid:
   | x2 |
   | x3 |
 
-Parse errors exit with code 2:
+Parse errors are typed invalid-input errors and exit with code 3:
 
   $ nanoxcomp synth "x1 +"
-  parse error: expected a variable, constant or parenthesis
-  [2]
+  nanoxcomp: invalid input: expected a variable, constant or parenthesis
+  [3]
 
 BIST plans always reach 100% coverage:
 
@@ -83,6 +83,7 @@ Metrics reporting is opt-in and counts real algorithm work:
   counter   qm.budget_exhausted              0
   counter   qm.minimize_calls                26
   counter   qm.prime_implicants              36
+  counter   synth.degraded                   0
   counter   synth.functions                  1
   counter   synth.verifications              1
 

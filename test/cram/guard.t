@@ -1,0 +1,91 @@
+The CLI exit-code contract: 0 ok, 1 internal, 2 usage, 3 invalid
+input, 4 budget exhausted without degradation, 5 unsat / non-functional
+flow.
+
+Usage errors (unknown commands, bad flags) exit 2:
+
+  $ nanoxcomp nosuchcmd 2>/dev/null
+  [2]
+
+  $ nanoxcomp synth 2>/dev/null
+  [2]
+
+Invalid input exits 3 with a located message:
+
+  $ nanoxcomp synth "x1 ++ x2"
+  nanoxcomp: invalid input: expected a variable, constant or parenthesis (column 5)
+  [3]
+
+  $ nanoxcomp synth "x0"
+  nanoxcomp: invalid input: variables are 1-based (column 1)
+  [3]
+
+  $ nanoxcomp synth "x1 @ x2"
+  nanoxcomp: invalid input: unexpected character @ (column 4)
+  [3]
+
+Malformed PLA input is located by line and column:
+
+  $ cat > bad.pla <<'PLA'
+  > .i 2
+  > .o 1
+  > 1z 1
+  > .e
+  > PLA
+  $ nanoxcomp pla bad.pla
+  nanoxcomp: invalid input: bad input character z (line 3, column 2)
+  [3]
+
+  $ cat > badrow.pla <<'PLA'
+  > .i 3
+  > .o 1
+  > 10 1
+  > .e
+  > PLA
+  $ nanoxcomp pla badrow.pla
+  nanoxcomp: invalid input: input part "10" has 2 characters, .i says 3 (line 3)
+  [3]
+
+  $ cat > nodotio.pla <<'PLA'
+  > 10 1
+  > .e
+  > PLA
+  $ nanoxcomp pla nodotio.pla
+  nanoxcomp: invalid input: missing .i
+  [3]
+
+A tiny budget with --on-exhaustion=fail exits 4 (message varies with
+timing, so only the prefix is pinned):
+
+  $ nanoxcomp synth "x1 x2 + x3" --budget-steps 5 --on-exhaustion=fail 2>&1 \
+  >   | sed -E 's/after [0-9]+ steps \([0-9.]+ms\)/after N steps/'
+  nanoxcomp: budget exhausted: cli stopped after N steps
+
+  $ nanoxcomp synth "x1 x2 + x3" --budget-steps 5 --on-exhaustion=fail 2>/dev/null
+  [4]
+
+The same budget under the default degrade policy still produces a
+correct (verified) implementation, with a note on stderr:
+
+  $ nanoxcomp synth "x1 x2 + x3" --budget-steps 5
+  note: budget exhausted, synthesis degraded
+  name           n  diode   fet     ar      dec     dred     best
+  x1 x2 + x3     3  2x4     6x4     2x2     2x2     -           4
+  
+  products(f) = 2, products(f^D) = 2, literals = 3
+
+
+Degradations are visible in the metrics snapshot:
+
+  $ nanoxcomp synth "x1 x2 + x3" --budget-steps 5 --metrics 2>/dev/null \
+  >   | grep -c '^counter   guard\.degrade\.'
+  1
+
+A flow that cannot map (lattice larger than the chip) is a clean
+non-functional result, exit 5:
+
+  $ nanoxcomp flow "x1x2 + x3" -n 1
+  lattice 2x2 on a 1x1 chip (0.0% defects)
+  FAILED: 0 configs, 0 tests, 0 diagnoses
+  functional after mapping: false
+  [5]
