@@ -1,4 +1,4 @@
-.PHONY: build test check bench smoke chaos clean
+.PHONY: build test check doc bench smoke chaos clean
 
 build:
 	dune build @all
@@ -6,11 +6,22 @@ build:
 test:
 	dune runtest
 
-# the tier-1 gate: everything compiles (including examples and bench)
-# and every test — unit, property, cram, bench smoke — passes
+# API reference via odoc; skipped with a notice when odoc is not
+# installed (the docs are .mli comments either way)
+doc:
+	@if dune build @doc 2>/dev/null; then \
+	  echo "docs: _build/default/_doc/_html/index.html"; \
+	else \
+	  echo "doc: odoc not installed, skipping (opam install odoc)"; \
+	fi
+
+# the tier-1 gate: everything compiles (including examples and bench),
+# every test — unit, property, cram, bench smoke — passes, and the
+# odoc pages build when odoc is available
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) doc
 
 # extended chaos sweep: the dune test runs ~250 adversarial cases,
 # this cranks it up; override CHAOS_RUNS/CHAOS_SEED as needed

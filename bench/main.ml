@@ -7,8 +7,9 @@
    to BENCH_results.json (override the path with BENCH_OUT) next to the
    human-readable tables it has always printed.
 
-   Usage: dune exec bench/main.exe            (everything)
-          dune exec bench/main.exe -- E4 E7   (selected experiments)   *)
+   Usage: dune exec bench/main.exe                      (everything)
+          dune exec bench/main.exe -- E4 E7             (selected)
+          dune exec bench/main.exe -- --jobs 4 E7 PAR   (parallel)    *)
 
 open Nxc_logic
 module Lt = Nxc_lattice
@@ -17,6 +18,12 @@ module R = Nxc_reliability
 module C = Nxc_core
 module Obs = Nxc_obs
 module J = Nxc_obs.Json
+
+(* --jobs N (parsed in main): worker pool shared by the Monte-Carlo
+   experiments.  Results are seed-deterministic for every N, so the
+   flag only changes wall-clock, never tables. *)
+let jobs = ref 1
+let the_pool : Nxc_par.Pool.t option ref = ref None
 
 let section id title =
   Format.printf "@.=====================================================@.";
@@ -258,28 +265,18 @@ let e7 () =
     (fun density ->
       List.iter
         (fun (label, scheme) ->
-          let ok = ref 0 and cfgs = ref 0 and diags = ref 0 in
-          for t = 1 to trials do
-            let chip =
-              R.Defect.generate
-                (R.Rng.create ((t * 7919) + int_of_float (density *. 1e6)))
-                ~rows:n ~cols:n (R.Defect.uniform density)
-            in
-            let stats, _ =
-              R.Bism.run
-                (R.Rng.create ((t * 104729) + 13))
-                scheme ~chip ~k_rows:k ~k_cols:k ~max_configs
-            in
-            if stats.R.Bism.success then incr ok;
-            cfgs := !cfgs + stats.R.Bism.configurations;
-            diags := !diags + stats.R.Bism.diagnoses
-          done;
+          let mc, _ =
+            R.Bism.monte_carlo ?pool:!the_pool
+              (R.Rng.create (7919 + int_of_float (density *. 1e6)))
+              scheme ~trials ~n ~profile:(R.Defect.uniform density) ~k_rows:k
+              ~k_cols:k ~max_configs
+          in
           Hashtbl.replace scheme_totals label
-            (!ok + Option.value ~default:0 (Hashtbl.find_opt scheme_totals label));
+            (mc.R.Bism.mc_mapped
+            + Option.value ~default:0 (Hashtbl.find_opt scheme_totals label));
           Format.printf "%-9.3f %-8s %6d/%-3d %10.1f %10.1f@." density label
-            !ok trials
-            (float_of_int !cfgs /. float_of_int trials)
-            (float_of_int !diags /. float_of_int trials))
+            mc.R.Bism.mc_mapped trials mc.R.Bism.mc_avg_configs
+            mc.R.Bism.mc_avg_diagnoses)
         [ ("blind", R.Bism.Blind); ("greedy", R.Bism.Greedy);
           ("hybrid", R.Bism.Hybrid 10) ])
     [ 0.005; 0.01; 0.02; 0.04; 0.08 ];
@@ -305,8 +302,8 @@ let e8 () =
       List.iter
         (fun density ->
           let ek =
-            R.Yield_model.expected_max_k (R.Rng.create 31) ~trials:25 ~n
-              ~profile:(R.Defect.uniform density)
+            R.Yield_model.expected_max_k ?pool:!the_pool (R.Rng.create 31)
+              ~trials:25 ~n ~profile:(R.Defect.uniform density)
           in
           if n = 32 && density = 0.05 then ek_32_005 := ek;
           Format.printf "%-6d %-9.2f %-12.1f %-8.2f@." n density ek
@@ -320,8 +317,8 @@ let e8 () =
       List.iter
         (fun k ->
           let r =
-            R.Yield_model.recovery_rate (R.Rng.create 32) ~trials:30 ~n:32 ~k
-              ~profile:(R.Defect.uniform density)
+            R.Yield_model.recovery_rate ?pool:!the_pool (R.Rng.create 32)
+              ~trials:30 ~n:32 ~k ~profile:(R.Defect.uniform density)
           in
           if k = 16 && density = 0.05 then rec_16_005 := r;
           Format.printf "  k=%d %.0f%%" k (100.0 *. r))
@@ -539,27 +536,16 @@ let e13 () =
   let tot_unaware = ref 0 and tot_aware = ref 0 in
   List.iter
     (fun density ->
-      let unaware = ref 0 and aware = ref 0 in
-      for t = 1 to 30 do
-        let chip =
-          R.Defect.generate
-            (R.Rng.create ((t * 131) + int_of_float (density *. 1e5)))
-            ~rows:12 ~cols:12 (R.Defect.uniform density)
-        in
-        (* unaware: needs a defect-free region of the lattice's size *)
-        let sel = R.Defect_flow.greedy_max chip in
-        if R.Defect_flow.recovered_k sel >= max lr lc then incr unaware;
-        (* aware: match site needs against the defect kinds *)
-        (match
-           R.Defect_flow.place_lattice (R.Rng.create (t * 17)) chip l
-             ~attempts:60
-         with
-        | Some _ -> incr aware
-        | None -> ())
-      done;
-      tot_unaware := !tot_unaware + !unaware;
-      tot_aware := !tot_aware + !aware;
-      Format.printf "%-9.2f %13d/30 %11d/30@." density !unaware !aware)
+      let s =
+        R.Defect_flow.placement_sweep ?pool:!the_pool
+          (R.Rng.create (131 + int_of_float (density *. 1e5)))
+          ~lattice:l ~chips:30 ~n:12 ~profile:(R.Defect.uniform density)
+          ~attempts:60
+      in
+      tot_unaware := !tot_unaware + s.R.Defect_flow.placed_unaware;
+      tot_aware := !tot_aware + s.R.Defect_flow.placed_aware;
+      Format.printf "%-9.2f %13d/30 %11d/30@." density
+        s.R.Defect_flow.placed_unaware s.R.Defect_flow.placed_aware)
     [ 0.05; 0.15; 0.30; 0.45; 0.60 ];
   Format.printf
     "@.the application-dependent flow keeps placing configurations long \
@@ -617,18 +603,19 @@ let e15 () =
           and remaps = ref 0
           and corrupt = ref 0
           and alive = ref 0 in
-          for t = 1 to trials do
-            let chip = R.Defect.perfect ~rows:24 ~cols:24 in
-            let s =
-              R.Lifetime.simulate
-                (R.Rng.create ((t * 997) + check_interval))
-                ~chip ~k:12 ~horizon:4000 ~failure_rate ~check_interval
-            in
-            avail := !avail +. R.Lifetime.availability s;
-            remaps := !remaps + s.R.Lifetime.remaps;
-            corrupt := !corrupt + s.R.Lifetime.corrupt_steps;
-            if s.R.Lifetime.survived then incr alive
-          done;
+          let summaries =
+            R.Lifetime.monte_carlo ?pool:!the_pool
+              (R.Rng.create (997 + check_interval))
+              ~chip:(R.Defect.perfect ~rows:24 ~cols:24)
+              ~k:12 ~trials ~horizon:4000 ~failure_rate ~check_interval
+          in
+          Array.iter
+            (fun s ->
+              avail := !avail +. R.Lifetime.availability s;
+              remaps := !remaps + s.R.Lifetime.remaps;
+              corrupt := !corrupt + s.R.Lifetime.corrupt_steps;
+              if s.R.Lifetime.survived then incr alive)
+            summaries;
           tot_alive := !tot_alive + !alive;
           tot_remaps := !tot_remaps + !remaps;
           tot_trials := !tot_trials + trials;
@@ -772,12 +759,51 @@ let e16 () =
   ("flow_functional", J.Bool functional) :: !headline
 
 (* ------------------------------------------------------------------ *)
+(* PAR: pool equivalence and speedup                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e_par () =
+  section "PAR" "work pool: sequential vs --jobs equivalence and speedup";
+  let trials = 40 and n = 32 and k = 12 in
+  let work pool =
+    R.Bism.monte_carlo ?pool (R.Rng.create 4242) (R.Bism.Hybrid 10) ~trials ~n
+      ~profile:(R.Defect.uniform 0.03) ~k_rows:k ~k_cols:k ~max_configs:300
+  in
+  let time f =
+    let t0 = Obs.Clock.now_ns () in
+    let v = f () in
+    (v, Obs.Clock.ns_to_ms (Obs.Clock.now_ns () - t0))
+  in
+  let seq, seq_ms = time (fun () -> work None) in
+  let par, par_ms = time (fun () -> work !the_pool) in
+  let identical = seq = par in
+  let slots =
+    match !the_pool with None -> 1 | Some p -> Nxc_par.Pool.slots p
+  in
+  Format.printf
+    "%d hybrid BISM trials, --jobs %d (%d runner slots):@.  sequential \
+     %.1f ms, pooled %.1f ms, speedup %.2fx, results identical: %b@."
+    trials !jobs slots seq_ms par_ms (seq_ms /. par_ms) identical;
+  if slots = 1 then
+    Format.printf
+      "  (single runner slot: pass --jobs N on a multicore host to \
+       measure a real speedup)@.";
+  (* the whole point: the pool must never change seeded results *)
+  assert identical;
+  [ ("jobs", J.Int !jobs);
+    ("slots", J.Int slots);
+    ("identical", J.Bool identical);
+    ("seq_ms", J.Float seq_ms);
+    ("par_ms", J.Float par_ms);
+    ("speedup", J.Float (seq_ms /. par_ms)) ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("TIMING", timing) ]
+    ("PAR", e_par); ("TIMING", timing) ]
 
 (* Run one experiment under a wall-clock timer with a fresh metrics
    registry, and capture the headline numbers plus the metric snapshot. *)
@@ -793,11 +819,25 @@ let run_one id f =
       ("metrics", Obs.Metrics.dump_json ()) ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst experiments
+  (* accept --jobs N / -j N / --jobs=N anywhere among the experiment
+     ids; everything else must be an experiment name *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: v :: rest ->
+        jobs := int_of_string v;
+        parse_args acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        jobs := int_of_string (String.sub arg 7 (String.length arg - 7));
+        parse_args acc rest
+    | arg :: rest -> parse_args (arg :: acc) rest
   in
+  let requested =
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | args -> args
+  in
+  Nxc_par.Pool.with_jobs !jobs @@ fun pool ->
+  the_pool := pool;
   let records =
     List.map
       (fun id ->
@@ -815,6 +855,7 @@ let () =
   let doc =
     J.Obj
       [ ("schema", J.Str "nanoxcomp-bench/1");
+        ("jobs", J.Int !jobs);
         ("experiments", J.List records) ]
   in
   let oc = open_out out in

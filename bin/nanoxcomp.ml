@@ -9,8 +9,9 @@
      yield              k x k recovery statistics
      stats  <expr>      end-to-end flow + full metrics snapshot
 
-   Every subcommand accepts --trace[=FILE], --trace-format and
-   --metrics (see the Observability section of README.md). *)
+   Every subcommand accepts --trace[=FILE], --trace-format, --metrics,
+   the budget flags (--budget-steps, --deadline-ms, --on-exhaustion)
+   and --jobs (see the CLI contract section of README.md). *)
 
 open Cmdliner
 open Nxc_logic
@@ -130,8 +131,21 @@ let guard_term =
   in
   Term.(const guard_setup $ steps $ deadline $ on_exhaustion)
 
-(* every subcommand takes both setup terms *)
-let common_term = Term.(const (fun () () -> ()) $ obs_term $ guard_term)
+(* ------------------------------------------------------------------ *)
+(* parallelism flag, shared by every subcommand                        *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_term =
+  let doc =
+    "Run Monte-Carlo trials on $(docv) domains: $(b,1) (default) is \
+     sequential, $(b,0) picks one per recommended domain.  Seeded runs \
+     produce identical results for every $(docv)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* every subcommand takes the setup terms and receives the --jobs value *)
+let common_term =
+  Term.(const (fun () () jobs -> jobs) $ obs_term $ guard_term $ jobs_term)
 
 let die_error e =
   Guard.Error.count e;
@@ -157,7 +171,7 @@ let parse_or_die expr =
 (* ------------------------------------------------------------------ *)
 
 let synth_cmd =
-  let run () expr show_lattice =
+  let run _jobs expr show_lattice =
     let f = parse_or_die expr in
     let impl =
       match C.Synth.synthesize_result f with
@@ -188,7 +202,7 @@ let synth_cmd =
     Term.(const run $ common_term $ expr_arg $ show_lattice)
 
 let suite_cmd =
-  let run () full =
+  let run _jobs full =
     let benches = if full then Nxc_suite.all () else Nxc_suite.core () in
     let rows =
       List.map
@@ -211,7 +225,7 @@ let suite_cmd =
     Term.(const run $ common_term $ full)
 
 let bist_cmd =
-  let run () rows cols =
+  let run _jobs rows cols =
     let plan = R.Bist.plan ~rows ~cols in
     let universe = R.Fault_model.universe ~rows ~cols in
     let cov, und = R.Bist.coverage plan universe in
@@ -250,27 +264,17 @@ let scheme_conv =
   Arg.conv (parse, print)
 
 let bism_cmd =
-  let run () n k density scheme seed trials =
-    let successes = ref 0 and configs = ref 0 in
-    for t = 1 to trials do
-      let chip =
-        R.Defect.generate
-          (R.Rng.create (seed + t))
-          ~rows:n ~cols:n (R.Defect.uniform density)
-      in
-      let stats, _ =
-        R.Bism.run
-          (R.Rng.create (seed + (1000 * t)))
-          scheme ~chip ~k_rows:k ~k_cols:k ~max_configs:1000
-      in
-      if stats.R.Bism.success then incr successes;
-      configs := !configs + stats.R.Bism.configurations
-    done;
+  let run jobs n k density scheme seed trials =
+    Nxc_par.Pool.with_jobs jobs @@ fun pool ->
+    let mc, _ =
+      R.Bism.monte_carlo ?pool (R.Rng.create seed) scheme ~trials ~n
+        ~profile:(R.Defect.uniform density) ~k_rows:k ~k_cols:k
+        ~max_configs:1000
+    in
     Format.printf
       "%d/%d chips mapped (k=%d on N=%d at %.1f%% defects), avg %.1f \
        configurations@."
-      !successes trials k n (100.0 *. density)
-      (float_of_int !configs /. float_of_int trials)
+      mc.R.Bism.mc_mapped trials k n (100.0 *. density) mc.R.Bism.mc_avg_configs
   in
   let n = Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
   let k =
@@ -290,7 +294,7 @@ let bism_cmd =
     Term.(const run $ common_term $ n $ k $ density_arg $ scheme $ seed_arg $ trials)
 
 let flow_cmd =
-  let run () expr n density seed =
+  let run _jobs expr n density seed =
     let f = parse_or_die expr in
     let chip =
       R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n
@@ -315,18 +319,19 @@ let flow_cmd =
     Term.(const run $ common_term $ expr_arg $ n $ density_arg $ seed_arg)
 
 let yield_cmd =
-  let run () n density trials =
+  let run jobs n density trials =
+    Nxc_par.Pool.with_jobs jobs @@ fun pool ->
     let profile = R.Defect.uniform density in
     let ek =
-      R.Yield_model.expected_max_k (R.Rng.create 1) ~trials ~n ~profile
+      R.Yield_model.expected_max_k ?pool (R.Rng.create 1) ~trials ~n ~profile
     in
     Format.printf "N=%d, density %.1f%%: mean recovered k = %.1f@." n
       (100.0 *. density) ek;
     List.iter
       (fun y ->
         let k =
-          R.Yield_model.guaranteed_k (R.Rng.create 2) ~trials ~n ~profile
-            ~min_yield:y
+          R.Yield_model.guaranteed_k ?pool (R.Rng.create 2) ~trials ~n
+            ~profile ~min_yield:y
         in
         Format.printf "  k guaranteed at %.0f%% yield: %d@." (100.0 *. y) k)
       [ 0.5; 0.9; 0.99 ]
@@ -340,7 +345,7 @@ let yield_cmd =
     Term.(const run $ common_term $ n $ density_arg $ trials)
 
 let pla_cmd =
-  let run () path =
+  let run _jobs path =
     let text =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -392,7 +397,7 @@ let pla_cmd =
     Term.(const run $ common_term $ path)
 
 let machine_cmd =
-  let run () program n =
+  let run _jobs program n =
     let prog =
       match program with
       | "sum" -> C.Machine.assemble_sum_1_to_n ~n
@@ -421,7 +426,7 @@ let machine_cmd =
     Term.(const run $ common_term $ program $ n)
 
 let stats_cmd =
-  let run () expr json n density seed =
+  let run _jobs expr json n density seed =
     let f = parse_or_die expr in
     let chip =
       R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n

@@ -92,13 +92,46 @@ let degrade site =
   Obs.Metrics.incr m_degradations;
   Obs.Metrics.incr (Obs.Metrics.counter ("guard.degrade." ^ site))
 
-let cur = ref unlimited
-let current () = !cur
-let set_current t = cur := t
+let is_limited t =
+  t.core.max_steps <> max_int || t.core.deadline_ns <> max_int
+
+let partition t n =
+  let n = max 1 n in
+  let c = t.core in
+  let remaining =
+    if c.max_steps = max_int then max_int else max 0 (c.max_steps - c.steps)
+  in
+  Array.init n (fun i ->
+      Obs.Metrics.incr m_created;
+      { core =
+          { label = Printf.sprintf "%s/w%d" c.label i;
+            max_steps = (if remaining = max_int then max_int else remaining / n);
+            deadline_ns = c.deadline_ns;
+            start_ns = c.start_ns;
+            steps = 0;
+            dead = c.dead };
+        policy = Degrade })
+
+let absorb t slices =
+  let c = t.core in
+  let used =
+    Array.fold_left (fun acc s -> acc + s.core.steps) 0 slices
+  in
+  c.steps <- c.steps + used;
+  if c.steps > c.max_steps then ignore (trip c)
+
+(* The ambient budget is domain-local: a freshly spawned worker domain
+   starts unlimited, and Nxc_par installs each worker's partition slice
+   for the duration of a parallel batch without the domains ever
+   sharing a mutable budget. *)
+let cur_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> unlimited)
+
+let current () = Domain.DLS.get cur_key
+let set_current t = Domain.DLS.set cur_key t
 
 let with_current t f =
-  let saved = !cur in
-  cur := t;
-  Fun.protect ~finally:(fun () -> cur := saved) f
+  let saved = current () in
+  set_current t;
+  Fun.protect ~finally:(fun () -> set_current saved) f
 
-let resolve = function Some g -> g | None -> !cur
+let resolve = function Some g -> g | None -> current ()

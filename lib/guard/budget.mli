@@ -67,9 +67,33 @@ val degrade : string -> unit
     [guard.degradations] total and the [guard.degrade.<site>]
     counter. *)
 
+(** {2 Partitioning across parallel workers}
+
+    {!Nxc_par.Pool} splits a budget into per-worker slices before a
+    parallel batch and charges the parent back at join, so exhaustion
+    under parallelism still degrades gracefully instead of letting
+    workers race the same mutable counter. *)
+
+val is_limited : t -> bool
+(** [true] when the budget has a step cap or a deadline, i.e. when
+    partitioning it is worth the bother. *)
+
+val partition : t -> int -> t array
+(** [partition t n] is [n] fresh slices of [t]'s remaining allowance:
+    each gets an equal share of the remaining steps, the same absolute
+    deadline, and policy [Degrade] (a worker must wind down, not raise).
+    If [t] is already exhausted every slice starts exhausted.  [t]
+    itself is not charged until {!absorb}. *)
+
+val absorb : t -> t array -> unit
+(** [absorb t slices] charges the steps the slices consumed back to
+    [t], tripping [t] if the total now exceeds its cap. *)
+
 (** {2 Ambient budget} *)
 
 val current : unit -> t
+(** The calling domain's ambient budget (domain-local: a freshly
+    spawned domain starts at {!unlimited}). *)
 
 val set_current : t -> unit
 

@@ -18,7 +18,7 @@ let dims_of_area area =
   in
   go 1 []
 
-let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true)
+let search ?pool ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true)
     ?guard f =
   let guard = Guard.Budget.resolve guard in
   let n = L.Boolfunc.n_vars f in
@@ -31,10 +31,11 @@ let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true)
   let alphabet = Array.of_list alphabet in
   let k = Array.length alphabet in
   let tried = ref 0 in
-  let exception Hit of Lattice.t in
-  let exception Out_of_budget in
-  (* enumerate assignments of [cells] sites as base-k counters *)
-  let try_dims (r, c) =
+  (* Enumerate the assignments of one dimension pair as a base-k
+     counter, trying at most [cap] candidates against [guard].  Returns
+     the verdict plus the local candidate count — no shared state, so a
+     pool can run dimension pairs of the same area concurrently. *)
+  let try_dims ~guard ~cap (r, c) =
     let cells = r * c in
     let digits = Array.make cells 0 in
     let grid () =
@@ -52,22 +53,73 @@ let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true)
         bump (i - 1)
       end
     in
+    let count = ref 0 in
+    let verdict = ref `Done in
     let continue_ = ref true in
     while !continue_ do
-      incr tried;
-      if !tried > budget || not (Guard.Budget.step guard) then
-        raise Out_of_budget;
-      let lattice = Lattice.make ~n_vars:(max n 1) (grid ()) in
-      if Checker.equivalent lattice f then raise (Hit lattice);
-      continue_ := bump (cells - 1)
-    done
+      incr count;
+      if !count > cap || not (Guard.Budget.step guard) then begin
+        verdict := `Out;
+        continue_ := false
+      end
+      else begin
+        let lattice = Lattice.make ~n_vars:(max n 1) (grid ()) in
+        if Checker.equivalent lattice f then begin
+          verdict := `Hit lattice;
+          continue_ := false
+        end
+        else if not (bump (cells - 1)) then continue_ := false
+      end
+    done;
+    (!count, !verdict)
+  in
+  (* A sequential area scan threads the one budget through the pairs in
+     order, exactly like the historical single-loop implementation. *)
+  let seq_area area =
+    let rec go = function
+      | [] -> `Done
+      | d :: rest -> (
+          let count, v = try_dims ~guard ~cap:(budget - !tried) d in
+          tried := !tried + count;
+          match v with `Done -> go rest | v -> v)
+    in
+    go (dims_of_area area)
+  in
+  (* A parallel area scan gives each dimension pair an equal share of
+     the remaining candidate budget and lets the first non-exhausted
+     verdict in pair order decide — the pair a sequential scan would
+     have reached first.  Under budget pressure the two modes may
+     exhaust at different points (the usual partitioning contract). *)
+  let par_area p area =
+    let ds = dims_of_area area in
+    let remaining = budget - !tried in
+    if remaining <= 0 then `Out
+    else begin
+      let cap = max 1 (remaining / List.length ds) in
+      let results =
+        Nxc_par.Pool.map ~pool:p ~guard
+          (fun d -> try_dims ~guard:(Guard.Budget.current ()) ~cap d)
+          ds
+      in
+      List.iter (fun (count, _) -> tried := !tried + count) results;
+      let rec decide = function
+        | [] -> `Done
+        | (_, `Done) :: rest -> decide rest
+        | (_, v) :: _ -> v
+      in
+      decide results
+    end
   in
   let rec by_area area =
     if area > max_area then Proved_larger max_area
     else
-      match List.iter try_dims (dims_of_area area) with
-      | () -> by_area (area + 1)
-      | exception Hit lattice -> Found lattice
+      let verdict =
+        match pool with None -> seq_area area | Some p -> par_area p area
+      in
+      match verdict with
+      | `Done -> by_area (area + 1)
+      | `Hit lattice -> Found lattice
+      | `Out -> Budget_exhausted
   in
   Obs.Metrics.incr m_searches;
   Obs.Span.with_ ~name:"lattice.optimal_search"
@@ -79,10 +131,7 @@ let search ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true)
       match L.Boolfunc.is_const f with
       | Some b -> Found (Compose.of_const 1 b)
       | None -> assert false
-    else
-      match by_area 1 with
-      | r -> r
-      | exception Out_of_budget -> Budget_exhausted
+    else by_area 1
   in
   Obs.Metrics.add m_candidates !tried;
   outcome

@@ -1,14 +1,20 @@
 (* Wall-clock nanoseconds made monotonic in software: the OCaml
    distribution exposes no raw monotonic clock, so we clamp
    [Unix.gettimeofday] to never run backwards.  63-bit nanoseconds
-   overflow in ~146 years. *)
+   overflow in ~146 years.  The clamp cell is atomic so worker domains
+   (Nxc_par) share one monotonic timeline. *)
 
-let last = ref 0
+let last = Atomic.make 0
 
 let now_ns () =
   let t = int_of_float (Unix.gettimeofday () *. 1e9) in
-  if t > !last then last := t;
-  !last
+  let rec clamp () =
+    let seen = Atomic.get last in
+    if t <= seen then seen
+    else if Atomic.compare_and_set last seen t then t
+    else clamp ()
+  in
+  clamp ()
 
 let ns_to_ms ns = float_of_int ns /. 1e6
 

@@ -1,7 +1,13 @@
 (* Process-global metrics registry.  Instrumented modules create their
    instruments once at module-initialization time and then mutate plain
    record fields on the hot path, so recording a value never allocates
-   and never takes a lock (the whole pipeline is single-threaded). *)
+   and never takes a lock on the single-domain fast path.
+
+   Parallel sections (Nxc_par) install a per-domain delta *buffer*:
+   while one is active, recording and instrument creation are redirected
+   by name into the buffer, so worker domains never touch the shared
+   registry; the pool merges the buffers back on the main domain at
+   join.  The redirection check is one domain-local read per record. *)
 
 type counter = { c_name : string; mutable c_value : int }
 
@@ -23,33 +29,53 @@ type histogram = {
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+type buffer = (string, metric) Hashtbl.t
+
+let registry : buffer = Hashtbl.create 64
+
+(* The domain-local active buffer.  [None] (the default everywhere,
+   including spawned domains) means "record straight into [registry]". *)
+let active_key : buffer option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let sink () =
+  match !(Domain.DLS.get active_key) with
+  | Some b -> b
+  | None -> registry
+
+let buffer () : buffer = Hashtbl.create 16
+
+let with_buffer b f =
+  let slot = Domain.DLS.get active_key in
+  let saved = !slot in
+  slot := Some b;
+  Fun.protect ~finally:(fun () -> slot := saved) f
 
 let kind_error name want =
   invalid_arg
     (Printf.sprintf "Nxc_obs.Metrics: %S already registered as a non-%s" name
        want)
 
-let counter name =
-  match Hashtbl.find_opt registry name with
+let counter_in tbl name =
+  match Hashtbl.find_opt tbl name with
   | Some (Counter c) -> c
   | Some _ -> kind_error name "counter"
   | None ->
       let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace registry name (Counter c);
+      Hashtbl.replace tbl name (Counter c);
       c
 
-let gauge name =
-  match Hashtbl.find_opt registry name with
+let gauge_in tbl name =
+  match Hashtbl.find_opt tbl name with
   | Some (Gauge g) -> g
   | Some _ -> kind_error name "gauge"
   | None ->
       let g = { g_name = name; g_value = 0.0 } in
-      Hashtbl.replace registry name (Gauge g);
+      Hashtbl.replace tbl name (Gauge g);
       g
 
-let histogram name =
-  match Hashtbl.find_opt registry name with
+let histogram_in tbl name =
+  match Hashtbl.find_opt tbl name with
   | Some (Histogram h) -> h
   | Some _ -> kind_error name "histogram"
   | None ->
@@ -61,16 +87,37 @@ let histogram name =
           h_min = max_int;
           h_max = 0 }
       in
-      Hashtbl.replace registry name (Histogram h);
+      Hashtbl.replace tbl name (Histogram h);
       h
 
-let incr c = c.c_value <- c.c_value + 1
+let counter name = counter_in (sink ()) name
+let gauge name = gauge_in (sink ()) name
+let histogram name = histogram_in (sink ()) name
 
-let add c n = c.c_value <- c.c_value + n
+(* Recording through a pre-created handle must also honour the active
+   buffer: module-level instruments are global records, but a worker
+   domain may only mutate its own buffer's cells. *)
+
+let incr c =
+  match !(Domain.DLS.get active_key) with
+  | None -> c.c_value <- c.c_value + 1
+  | Some b ->
+      let bc = counter_in b c.c_name in
+      bc.c_value <- bc.c_value + 1
+
+let add c n =
+  match !(Domain.DLS.get active_key) with
+  | None -> c.c_value <- c.c_value + n
+  | Some b ->
+      let bc = counter_in b c.c_name in
+      bc.c_value <- bc.c_value + n
 
 let counter_value c = c.c_value
 
-let set g v = g.g_value <- v
+let set g v =
+  match !(Domain.DLS.get active_key) with
+  | None -> g.g_value <- v
+  | Some b -> (gauge_in b g.g_name).g_value <- v
 
 let gauge_value g = g.g_value
 
@@ -86,19 +133,50 @@ let bucket_range i =
      max_int — exactly the top bucket's upper bound *)
   if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
 
-let observe h v =
-  if v < 0 then invalid_arg "Nxc_obs.Metrics.observe: negative value";
+let observe_cell h v =
   h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum + v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v
 
+let observe h v =
+  if v < 0 then invalid_arg "Nxc_obs.Metrics.observe: negative value";
+  match !(Domain.DLS.get active_key) with
+  | None -> observe_cell h v
+  | Some b -> observe_cell (histogram_in b h.h_name) v
+
 let hist_count h = h.h_count
 
 let hist_sum h = h.h_sum
 
 let hist_bucket h i = h.h_buckets.(i)
+
+let merge (b : buffer) =
+  (* merge into the caller's current sink (normally the registry), so
+     nested merges compose; sorted for a deterministic creation order
+     of instruments that first appeared inside the buffer *)
+  let items =
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) b []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+          let dst = counter name in
+          dst.c_value <- dst.c_value + c.c_value
+      | Gauge g -> (gauge name).g_value <- g.g_value
+      | Histogram h ->
+          let dst = histogram name in
+          for i = 0 to num_buckets - 1 do
+            dst.h_buckets.(i) <- dst.h_buckets.(i) + h.h_buckets.(i)
+          done;
+          dst.h_count <- dst.h_count + h.h_count;
+          dst.h_sum <- dst.h_sum + h.h_sum;
+          if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+          if h.h_max > dst.h_max then dst.h_max <- h.h_max)
+    items
 
 let reset () =
   Hashtbl.iter
@@ -112,10 +190,10 @@ let reset () =
           h.h_sum <- 0;
           h.h_min <- max_int;
           h.h_max <- 0)
-    registry
+    (sink ())
 
 let sorted_metrics () =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) (sink ()) []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let histogram_json h =

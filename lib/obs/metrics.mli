@@ -9,7 +9,15 @@
     Instruments are created once (typically at module-initialization
     time) and recording is a plain field mutation: no allocation, no
     locking.  Recording is always on — it is cheap enough that there is
-    no disabled mode; only the {e reporting} ([dump_*]) is opt-in. *)
+    no disabled mode; only the {e reporting} ([dump_*]) is opt-in.
+
+    {b Domains.}  The registry itself is not safe to touch from several
+    domains at once.  Parallel sections ({!Nxc_par.Pool}) instead run
+    each task under {!with_buffer}: recording is redirected, by
+    instrument name, into a domain-local {!type-buffer} of deltas that
+    the pool {!merge}s back on the main domain at join.  Counter and
+    histogram totals therefore come out identical to a sequential run;
+    a gauge takes the last buffered value in merge order. *)
 
 type counter
 type gauge
@@ -21,14 +29,30 @@ type histogram
 val counter : string -> counter
 
 val gauge : string -> gauge
+(** [gauge name] returns the gauge registered under [name], creating it
+    on first use.
+    @raise Invalid_argument if [name] is registered as another kind. *)
+
 val histogram : string -> histogram
+(** [histogram name] returns the histogram registered under [name],
+    creating it on first use.
+    @raise Invalid_argument if [name] is registered as another kind. *)
 
 val incr : counter -> unit
+(** Add one to a counter. *)
+
 val add : counter -> int -> unit
+(** [add c n] adds [n] to counter [c]. *)
+
 val counter_value : counter -> int
+(** Current value recorded {e in the global registry} (buffered deltas
+    from unmerged parallel sections are not visible here). *)
 
 val set : gauge -> float -> unit
+(** [set g v] overwrites the gauge's value. *)
+
 val gauge_value : gauge -> float
+(** Current value recorded in the global registry. *)
 
 (** [observe h v] records [v >= 0] into its base-2 log-scale bucket:
     bucket 0 holds exactly 0, bucket [i >= 1] holds [2^(i-1) .. 2^i-1],
@@ -44,8 +68,36 @@ val bucket_of : int -> int
 val bucket_range : int -> int * int
 
 val hist_count : histogram -> int
+(** Number of values observed. *)
+
 val hist_sum : histogram -> int
+(** Sum of all observed values. *)
+
 val hist_bucket : histogram -> int -> int
+(** [hist_bucket h i] is the number of observations in bucket [i]. *)
+
+(** {2 Parallel-section buffers}
+
+    Used by {!Nxc_par.Pool} to keep worker domains off the shared
+    registry; see the module preamble. *)
+
+type buffer
+(** A set of metric deltas, private to one parallel task. *)
+
+val buffer : unit -> buffer
+(** A fresh, empty delta buffer. *)
+
+val with_buffer : buffer -> (unit -> 'a) -> 'a
+(** [with_buffer b f] runs [f] with all recording (and instrument
+    creation) in the calling domain redirected into [b].  Scoped and
+    exception-safe; buffers may nest, innermost wins. *)
+
+val merge : buffer -> unit
+(** [merge b] folds the deltas of [b] into the caller's current sink —
+    normally the global registry — creating instruments as needed.
+    Counters and histograms are added; a gauge present in [b] overwrites
+    the sink's value.
+    @raise Invalid_argument on an instrument-kind clash with the sink. *)
 
 (** Zero every registered instrument, keeping registrations. *)
 val reset : unit -> unit

@@ -1,7 +1,12 @@
 (* Hierarchical spans.  Disabled by default: [with_] then just calls
    its thunk — no clock read, no allocation — so instrumentation can
    stay in hot paths permanently.  Enabled via [enable] (CLI flags) or
-   the NANOXCOMP_TRACE environment variable. *)
+   the NANOXCOMP_TRACE environment variable.
+
+   All span state (id counter, open stack, completed list) is
+   domain-local, so worker domains (Nxc_par) trace independently;
+   [collect] captures the spans a task produced and [absorb] splices
+   them back under the main domain's trace at join. *)
 
 type attr = string * Json.t
 
@@ -36,20 +41,27 @@ type open_span = {
   o_attrs : attr list;
 }
 
-let next_id = ref 0
+type state = {
+  mutable next_id : int;
+  mutable open_stack : open_span list;
+  (* completed spans, most recently finished first *)
+  mutable finished : t list;
+}
 
-let open_stack : open_span list ref = ref []
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { next_id = 0; open_stack = []; finished = [] })
 
-(* completed spans, most recently finished first *)
-let finished : t list ref = ref []
+let state () = Domain.DLS.get state_key
 
 let reset () =
-  next_id := 0;
-  open_stack := [];
-  finished := []
+  let s = state () in
+  s.next_id <- 0;
+  s.open_stack <- [];
+  s.finished <- []
 
-let record o =
-  finished :=
+let record s o =
+  s.finished <-
     { id = o.o_id;
       parent = o.o_parent;
       depth = o.o_depth;
@@ -57,18 +69,19 @@ let record o =
       start_ns = o.o_start;
       dur_ns = Clock.now_ns () - o.o_start;
       attrs = o.o_attrs }
-    :: !finished
+    :: s.finished
 
 let with_ ?attrs ~name f =
   if not !enabled_flag then f ()
   else begin
+    let s = state () in
     let parent, depth =
-      match !open_stack with
+      match s.open_stack with
       | [] -> (None, 0)
       | o :: _ -> (Some o.o_id, o.o_depth + 1)
     in
-    let id = !next_id in
-    incr next_id;
+    let id = s.next_id in
+    s.next_id <- id + 1;
     let o =
       { o_id = id;
         o_parent = parent;
@@ -77,20 +90,20 @@ let with_ ?attrs ~name f =
         o_start = Clock.now_ns ();
         o_attrs = (match attrs with None -> [] | Some mk -> mk ()) }
     in
-    open_stack := o :: !open_stack;
+    s.open_stack <- o :: s.open_stack;
     let finish () =
       (* pop back to (and including) our own frame even if an exception
          skipped the finish of deeper spans *)
       let rec pop = function
         | top :: rest when top.o_id <> id ->
-            record top;
+            record s top;
             pop rest
         | top :: rest ->
-            record top;
-            open_stack := rest
-        | [] -> open_stack := []
+            record s top;
+            s.open_stack <- rest
+        | [] -> s.open_stack <- []
       in
-      pop !open_stack
+      pop s.open_stack
     in
     match f () with
     | v ->
@@ -103,11 +116,72 @@ let with_ ?attrs ~name f =
 
 let completed () =
   (* completion order: earliest-finished first *)
-  List.rev !finished
+  List.rev (state ()).finished
+
+let collect f =
+  let s = state () in
+  let saved = s.finished in
+  s.finished <- [];
+  match f () with
+  | v ->
+      let out = List.rev s.finished in
+      s.finished <- saved;
+      (v, out)
+  | exception e ->
+      (* leave the spans where a plain call would have put them *)
+      s.finished <- s.finished @ saved;
+      raise e
+
+let absorb spans =
+  match spans with
+  | [] -> ()
+  | _ ->
+      let s = state () in
+      let base_parent, base_depth =
+        match s.open_stack with
+        | [] -> (None, 0)
+        | o :: _ -> (Some o.o_id, o.o_depth + 1)
+      in
+      (* new ids in the donor's start order (donor ids are start-ordered)
+         so the merged trace keeps ids consistent with starts *)
+      let ids = Hashtbl.create 16 in
+      List.iter
+        (fun sp -> Hashtbl.replace ids sp.id 0)
+        spans;
+      List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) ids [])
+      |> List.iter (fun old ->
+             Hashtbl.replace ids old s.next_id;
+             s.next_id <- s.next_id + 1);
+      (* depths are recomputed from the remapped parents (a donor's
+         notion of depth is relative to its own domain): walk in start
+         order so a parent is placed before its children *)
+      let depths = Hashtbl.create 16 in
+      let remapped = Hashtbl.create 16 in
+      List.iter
+        (fun sp ->
+          let id = Hashtbl.find ids sp.id in
+          let parent, depth =
+            match sp.parent with
+            | Some p when Hashtbl.mem ids p ->
+                let np = Hashtbl.find ids p in
+                (Some np, Hashtbl.find depths np + 1)
+            | Some _ | None ->
+                (* orphans hang off the span open here at the merge *)
+                (base_parent, base_depth)
+          in
+          Hashtbl.replace depths id depth;
+          Hashtbl.replace remapped sp.id { sp with id; parent; depth })
+        (List.sort (fun a b -> compare a.id b.id) spans);
+      (* keep finish order: [spans] is earliest-finished first and
+         [finished] is latest first *)
+      s.finished <-
+        List.rev_append
+          (List.map (fun sp -> Hashtbl.find remapped sp.id) spans)
+          s.finished
 
 let by_start () =
   (* ids are assigned in start order *)
-  List.sort (fun a b -> compare a.id b.id) !finished
+  List.sort (fun a b -> compare a.id b.id) (state ()).finished
 
 (* ------------------------------------------------------------------ *)
 (* exporters                                                           *)

@@ -1,0 +1,121 @@
+(** A fixed pool of worker domains for deterministic data-parallel
+    batches.
+
+    The pool exists for the pipeline's embarrassingly parallel hot
+    loops — Monte-Carlo trials ([Nxc_reliability.Bism.monte_carlo],
+    [Yield_model], [Lifetime]), defect-map sweeps and the
+    [Nxc_lattice.Optimal] candidate search — all of which map an index
+    range through a pure-up-to-RNG task function.
+
+    {b Determinism.}  [map_range] returns results in index order and
+    callers pre-split their RNG into one independent stream per task
+    (see [Nxc_reliability.Rng.split]), so a parallel run is
+    bit-identical to a sequential one regardless of how chunks land on
+    domains.  Exceptions are captured per chunk and the one the
+    lowest-indexed raising task threw is re-raised at the join — the
+    same exception a plain sequential loop would have surfaced.
+
+    {b Observability.}  Each chunk runs under a private
+    [Nxc_obs.Metrics] buffer and a [Nxc_obs.Span] collection; the join
+    merges both back on the calling domain in chunk order, so counter
+    and histogram totals match the sequential run and traces stay one
+    coherent tree.
+
+    {b Robustness.}  The caller's [Nxc_guard] budget is partitioned
+    into one slice per runner slot before the batch and the consumed
+    steps are charged back at the join ([Nxc_guard.Budget.partition] /
+    [absorb]).  Slices force the [Degrade] policy, so exhaustion
+    mid-batch winds work down gracefully exactly like the sequential
+    paths.  Note that {e which} tasks feel the exhaustion first depends
+    on scheduling: under budget pressure, parallel and sequential runs
+    may degrade at different points.
+
+    A pool whose worker count is [0] still runs every batch on the
+    calling domain (the main domain always participates as a runner
+    slot), so the same code path is exercised on single-core hosts. *)
+
+type t
+(** A handle on a set of idle worker domains.  Not itself thread-safe:
+    drive a pool from one domain at a time. *)
+
+val create : ?workers:int -> unit -> t
+(** [create ()] spawns [workers] worker domains (default
+    [Domain.recommended_domain_count - 1], clamped to [>= 0]).  The
+    domains idle on a condition variable between batches; call
+    {!shutdown} to join them. *)
+
+val shutdown : t -> unit
+(** Ask the workers to exit and join them.  Idempotent.  A pool must
+    not be used after shutdown. *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [with_pool f] is [f (create ())] with a guaranteed {!shutdown},
+    exception-safe. *)
+
+val workers : t -> int
+(** Number of worker domains (which may be [0]). *)
+
+val slots : t -> int
+(** Number of runner slots, i.e. [workers t + 1]: the calling domain
+    participates in every batch. *)
+
+val map_range :
+  ?pool:t ->
+  ?guard:Nxc_guard.Budget.t ->
+  ?chunk:int ->
+  int ->
+  (int -> 'a) ->
+  'a array
+(** [map_range n f] is [[| f 0; f 1; ...; f (n-1) |]].
+
+    Without [?pool] the tasks run sequentially in index order on the
+    calling domain; with [?pool] they are dealt out chunk-wise to the
+    pool's runner slots.  Either way each task runs with the resolved
+    budget (or its partition slice) installed as the {e ambient}
+    budget, so task code reaches its guard through
+    [Nxc_guard.Budget.current] and behaves identically in both modes.
+
+    [chunk] is the number of consecutive indices a runner claims at a
+    time (default: enough for roughly four chunks per slot).  Results,
+    metric merges, span merges and exception choice are all in index
+    order — see the module preamble for the determinism contract.
+
+    @param guard defaults to the ambient budget of the caller.
+    @raise Invalid_argument if [n < 0]. *)
+
+val map :
+  ?pool:t ->
+  ?guard:Nxc_guard.Budget.t ->
+  ?chunk:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [map f xs] is [List.map f xs] through {!map_range}: same order,
+    same determinism contract. *)
+
+val reduce :
+  ?pool:t ->
+  ?guard:Nxc_guard.Budget.t ->
+  ?chunk:int ->
+  init:'a ->
+  combine:('a -> 'b -> 'a) ->
+  int ->
+  (int -> 'b) ->
+  'a
+(** [reduce ~init ~combine n f] folds [combine] left-to-right over the
+    results of {!map_range}[ n f].  The tasks run in parallel; the fold
+    itself runs on the calling domain in index order, so [combine]
+    need not be associative for the result to be deterministic. *)
+
+(** {2 CLI plumbing} *)
+
+val of_jobs : int -> t option
+(** Interpret a [--jobs] value: [1] (the default everywhere) means
+    sequential ([None]); [0] means one slot per recommended domain;
+    [n >= 2] means a pool with [n - 1] workers (so [n] runner slots
+    in total).  The caller owns the pool and must {!shutdown} it.
+    @raise Invalid_argument if the value is negative. *)
+
+val with_jobs : int -> (t option -> 'a) -> 'a
+(** [with_jobs jobs f] is [f (of_jobs jobs)] with a guaranteed
+    {!shutdown} of the pool, if one was created. *)

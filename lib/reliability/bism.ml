@@ -197,6 +197,44 @@ let run ?guard rng scheme ~chip ~k_rows ~k_cols ~max_configs =
       diagnoses = !diagnoses },
     result )
 
+type mc = {
+  mc_trials : int;
+  mc_mapped : int;
+  mc_avg_configs : float;
+  mc_avg_tests : float;
+  mc_avg_diagnoses : float;
+}
+
+(* One RNG stream per trial, split off the caller's stream in trial
+   order before any work is dispatched: each trial's chip and mapping
+   draws are independent of every other trial's, so the results do not
+   depend on how a pool schedules them. *)
+let monte_carlo ?pool ?guard rng scheme ~trials ~n ~profile ~k_rows ~k_cols
+    ~max_configs =
+  if trials <= 0 then invalid_arg "Bism.monte_carlo: trials must be positive";
+  let guard = Guard.Budget.resolve guard in
+  Obs.Span.with_ ~name:"bism.monte_carlo"
+    ~attrs:(fun () ->
+      [ ("trials", Obs.Json.Int trials); ("n", Obs.Json.Int n) ])
+  @@ fun () ->
+  let rngs = Array.init trials (fun _ -> Rng.split rng) in
+  let per =
+    Nxc_par.Pool.map_range ?pool ~guard trials (fun i ->
+        let r = rngs.(i) in
+        let chip = Defect.generate r ~rows:n ~cols:n profile in
+        (* no explicit guard: [run] resolves the ambient budget, which
+           the pool points at this slot's partition slice *)
+        fst (run r scheme ~chip ~k_rows ~k_cols ~max_configs))
+  in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 per in
+  let avg f = float_of_int (sum f) /. float_of_int trials in
+  ( { mc_trials = trials;
+      mc_mapped = sum (fun s -> if s.success then 1 else 0);
+      mc_avg_configs = avg (fun s -> s.configurations);
+      mc_avg_tests = avg (fun s -> s.test_applications);
+      mc_avg_diagnoses = avg (fun s -> s.diagnoses) },
+    per )
+
 let pp_stats ppf s =
   Format.fprintf ppf "%s: %d configs, %d tests, %d diagnoses"
     (if s.success then "mapped" else "FAILED")

@@ -271,3 +271,30 @@ let place_lattice ?guard rng chip lattice ~attempts =
     done;
     !result
   end
+
+type sweep = { sweep_chips : int; placed_unaware : int; placed_aware : int }
+
+(* One RNG stream per chip, split in chip order up front, so the sweep
+   is bit-identical with and without a pool. *)
+let placement_sweep ?pool ?guard rng ~lattice ~chips ~n ~profile ~attempts =
+  if chips <= 0 then invalid_arg "Defect_flow.placement_sweep: chips";
+  let guard = Guard.Budget.resolve guard in
+  let need =
+    max (Nxc_lattice.Lattice.rows lattice) (Nxc_lattice.Lattice.cols lattice)
+  in
+  let rngs = Array.init chips (fun _ -> Rng.split rng) in
+  let per =
+    Nxc_par.Pool.map_range ?pool ~guard chips (fun i ->
+        let r = rngs.(i) in
+        let chip = Defect.generate r ~rows:n ~cols:n profile in
+        let unaware = recovered_k (greedy_max chip) >= need in
+        (* no explicit guard: [place_lattice] resolves the ambient
+           budget, which the pool points at this slot's slice *)
+        let aware = place_lattice r chip lattice ~attempts <> None in
+        (unaware, aware))
+  in
+  { sweep_chips = chips;
+    placed_unaware =
+      Array.fold_left (fun a (u, _) -> if u then a + 1 else a) 0 per;
+    placed_aware =
+      Array.fold_left (fun a (_, w) -> if w then a + 1 else a) 0 per }

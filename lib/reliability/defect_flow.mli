@@ -89,3 +89,34 @@ val place_lattice :
 
 val placement_compatible :
   Defect.t -> Nxc_lattice.Lattice.t -> int array -> int array -> bool
+
+(** {2 Monte-Carlo placement sweep}
+
+    The head-to-head experiment behind Fig. 6: over a population of
+    random chips, how often does each flow succeed? *)
+
+type sweep = {
+  sweep_chips : int;
+  placed_unaware : int;
+      (** chips whose defect-free extraction was large enough for the
+          lattice *)
+  placed_aware : int;  (** chips where {!place_lattice} succeeded *)
+}
+
+val placement_sweep :
+  ?pool:Nxc_par.Pool.t ->
+  ?guard:Nxc_guard.Budget.t ->
+  Rng.t ->
+  lattice:Nxc_lattice.Lattice.t ->
+  chips:int ->
+  n:int ->
+  profile:Defect.profile ->
+  attempts:int ->
+  sweep
+(** [placement_sweep rng ~lattice ~chips ~n ~profile ~attempts]
+    fabricates [chips] random [n x n] chips and tries both flows on
+    each.  Per-chip RNG streams are split off [rng] in chip order up
+    front, so the counts are bit-identical with and without [pool];
+    the resolved [guard] is partitioned across the pool's runner slots
+    ([Nxc_guard.Budget.partition]) and charged back at the join.
+    @raise Invalid_argument when [chips <= 0]. *)

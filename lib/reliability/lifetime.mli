@@ -41,3 +41,20 @@ val simulate :
     probability [failure_rate]) and run the periodic check/repair
     loop.  Raises [Invalid_argument] if the initial mapping already
     fails. *)
+
+val monte_carlo :
+  ?pool:Nxc_par.Pool.t ->
+  Rng.t ->
+  chip:Defect.t ->
+  k:int ->
+  trials:int ->
+  horizon:int ->
+  failure_rate:float ->
+  check_interval:int ->
+  summary array
+(** [trials] independent lifetimes of the same starting [chip], in
+    trial order.  Each trial ages the chip with its own RNG stream
+    split off the argument up front, so the array is bit-identical
+    with and without [pool].
+    @raise Invalid_argument when [trials <= 0], on the [simulate]
+    argument errors, or if some trial's initial mapping fails. *)

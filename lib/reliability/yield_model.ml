@@ -2,38 +2,41 @@ module Obs = Nxc_obs
 
 let m_trials = Obs.Metrics.counter "montecarlo.trials"
 
-let chips rng ~trials ~n ~profile f =
+(* Each trial gets its own RNG stream, split off the caller's stream in
+   trial order before any work runs — chip [i] is the same chip whether
+   the trials run sequentially or across a pool's domains. *)
+let chips ?pool rng ~trials ~n ~profile f =
   Obs.Metrics.add m_trials trials;
   Obs.Span.with_ ~name:"montecarlo.chips"
     ~attrs:(fun () ->
       [ ("trials", Obs.Json.Int trials); ("n", Obs.Json.Int n) ])
   @@ fun () ->
-  let hits = ref 0 and acc = ref 0.0 in
-  for _ = 1 to trials do
-    let chip = Defect.generate rng ~rows:n ~cols:n profile in
-    let hit, value = f chip in
-    if hit then incr hits;
-    acc := !acc +. value
-  done;
-  (float_of_int !hits /. float_of_int trials, !acc /. float_of_int trials)
+  let rngs = Array.init trials (fun _ -> Rng.split rng) in
+  let outs =
+    Nxc_par.Pool.map_range ?pool trials (fun i ->
+        f (Defect.generate rngs.(i) ~rows:n ~cols:n profile))
+  in
+  let hits = Array.fold_left (fun a (h, _) -> if h then a + 1 else a) 0 outs in
+  let acc = Array.fold_left (fun a (_, v) -> a +. v) 0.0 outs in
+  (float_of_int hits /. float_of_int trials, acc /. float_of_int trials)
 
-let recovery_rate rng ~trials ~n ~k ~profile =
+let recovery_rate ?pool rng ~trials ~n ~k ~profile =
   if trials <= 0 then invalid_arg "Yield_model.recovery_rate";
   fst
-    (chips rng ~trials ~n ~profile (fun chip ->
+    (chips ?pool rng ~trials ~n ~profile (fun chip ->
          (Defect_flow.extract chip ~k <> None, 0.0)))
 
-let expected_max_k rng ~trials ~n ~profile =
+let expected_max_k ?pool rng ~trials ~n ~profile =
   if trials <= 0 then invalid_arg "Yield_model.expected_max_k";
   snd
-    (chips rng ~trials ~n ~profile (fun chip ->
+    (chips ?pool rng ~trials ~n ~profile (fun chip ->
          ( false,
            float_of_int (Defect_flow.recovered_k (Defect_flow.greedy_max chip)) )))
 
-let guaranteed_k rng ~trials ~n ~profile ~min_yield =
+let guaranteed_k ?pool rng ~trials ~n ~profile ~min_yield =
   let rec search k =
     if k < 1 then 0
-    else if recovery_rate rng ~trials ~n ~k ~profile >= min_yield then k
+    else if recovery_rate ?pool rng ~trials ~n ~k ~profile >= min_yield then k
     else search (k - 1)
   in
   search n

@@ -7,15 +7,23 @@
     (Section IV.C). *)
 
 val recovery_rate :
+  ?pool:Nxc_par.Pool.t ->
   Rng.t -> trials:int -> n:int -> k:int -> profile:Defect.profile -> float
 (** Fraction of random chips from which a [k x k] defect-free array is
-    recovered. *)
+    recovered.  Trials draw from independent per-trial RNG streams
+    (split off the argument in trial order), so the estimate is
+    bit-identical with and without [pool].
+    @raise Invalid_argument when [trials <= 0]. *)
 
 val expected_max_k :
+  ?pool:Nxc_par.Pool.t ->
   Rng.t -> trials:int -> n:int -> profile:Defect.profile -> float
-(** Average recovered [k] over random chips. *)
+(** Average recovered [k] over random chips; same parallelism and
+    determinism contract as {!recovery_rate}.
+    @raise Invalid_argument when [trials <= 0]. *)
 
 val guaranteed_k :
+  ?pool:Nxc_par.Pool.t ->
   Rng.t -> trials:int -> n:int -> profile:Defect.profile -> min_yield:float -> int
 (** Largest [k] whose {!recovery_rate} estimate is at least
     [min_yield]. *)

@@ -34,7 +34,7 @@ BIST plans always reach 100% coverage:
 BISM with a fixed seed is reproducible:
 
   $ nanoxcomp bism --scheme greedy -n 24 -k 10 -d 0.03 --seed 7 --trials 5
-  5/5 chips mapped (k=10 on N=24 at 3.0% defects), avg 2.6 configurations
+  5/5 chips mapped (k=10 on N=24 at 3.0% defects), avg 3.2 configurations
 
 
 End-to-end flow returns success through the exit code:

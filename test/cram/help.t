@@ -1,0 +1,140 @@
+The top-level --help pins the CLI contract: subcommand list and
+common options.  A change here is an interface change — update
+README.md (CLI contract section) in the same commit.
+
+  $ nanoxcomp --help=plain
+  NAME
+         nanoxcomp - logic synthesis and fault tolerance for nano-crossbar
+         arrays
+  
+  SYNOPSIS
+         nanoxcomp COMMAND …
+  
+  COMMANDS
+         bism [OPTION]…
+             built-in self-mapping experiment
+  
+         bist [OPTION]…
+             test-plan statistics and fault coverage
+  
+         flow [OPTION]… EXPR
+             end-to-end synthesize, self-map and verify
+  
+         machine [OPTION]… [PROGRAM]
+             run a demo program on the lattice-fabric accumulator machine
+  
+         pla [OPTION]… FILE
+             synthesize every output of a Berkeley PLA file
+  
+         stats [OPTION]… EXPR
+             run the end-to-end flow once and print the pipeline metrics
+             snapshot
+  
+         suite [OPTION]…
+             size comparison over the benchmark suite
+  
+         synth [OPTION]… EXPR
+             synthesize a function on all technologies
+  
+         yield [OPTION]…
+             defect-unaware flow yield statistics
+  
+  COMMON OPTIONS
+         --help[=FMT] (default=auto)
+             Show this help in format FMT. The value FMT must be one of auto,
+             pager, groff or plain. With auto, the format is pager or plain
+             whenever the TERM env var is dumb or undefined.
+  
+         --version
+             Show version information.
+  
+  EXIT STATUS
+         nanoxcomp exits with:
+  
+         0   on success.
+  
+         123 on indiscriminate errors reported on standard error.
+  
+         124 on command line parsing errors.
+  
+         125 on unexpected internal errors (bugs).
+  
+
+Per-command help documents the shared observability, budget and
+parallelism flags (--trace / --metrics / --budget-steps / --jobs):
+
+  $ nanoxcomp bism --help=plain
+  NAME
+         nanoxcomp-bism - built-in self-mapping experiment
+  
+  SYNOPSIS
+         nanoxcomp bism [OPTION]…
+  
+  OPTIONS
+         --budget-steps=STEPS
+             Cap the cooperative work budget at STEPS steps across the whole
+             pipeline (QM merges, covering nodes, mapping retries, ...).
+  
+         -d D, --density=D (absent=0.05)
+             defect density (fraction)
+  
+         --deadline-ms=MS
+             Give the pipeline a wall-clock deadline of MS ms.
+  
+         -j N, --jobs=N (absent=1)
+             Run Monte-Carlo trials on N domains: 1 (default) is sequential, 0
+             picks one per recommended domain. Seeded runs produce identical
+             results for every N.
+  
+         -k K (absent=12)
+             logical side
+  
+         --metrics
+             Print the metrics snapshot on exit.
+  
+         -n N (absent=32)
+             chip side
+  
+         --on-exhaustion=POLICY (absent=degrade)
+             What to do when the budget runs out: degrade falls back to cheaper
+             methods and keeps going (default), fail stops with exit code 4.
+  
+         --scheme=SCHEME (absent=hybrid)
+             blind, greedy or hybrid
+  
+         --seed=SEED (absent=42)
+             random seed
+  
+         --trace[=FILE] (default=-)
+             Record hierarchical spans and export them on exit to FILE (use
+             --trace alone, or set NANOXCOMP_TRACE, for stderr).
+  
+         --trace-format=FMT (absent=tree)
+             Trace export format: tree, jsonl or chrome.
+  
+         --trials=T (absent=20)
+             chips to try
+  
+  COMMON OPTIONS
+         --help[=FMT] (default=auto)
+             Show this help in format FMT. The value FMT must be one of auto,
+             pager, groff or plain. With auto, the format is pager or plain
+             whenever the TERM env var is dumb or undefined.
+  
+         --version
+             Show version information.
+  
+  EXIT STATUS
+         nanoxcomp bism exits with:
+  
+         0   on success.
+  
+         123 on indiscriminate errors reported on standard error.
+  
+         124 on command line parsing errors.
+  
+         125 on unexpected internal errors (bugs).
+  
+  SEE ALSO
+         nanoxcomp(1)
+  
