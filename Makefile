@@ -41,4 +41,4 @@ smoke:
 
 clean:
 	dune clean
-	rm -f trace.json
+	rm -f trace.json .nxc-cache results.jsonl

@@ -798,12 +798,102 @@ let e_par () =
     ("speedup", J.Float (seq_ms /. par_ms)) ]
 
 (* ------------------------------------------------------------------ *)
+(* SERVICE: job engine throughput and NPN cache hit rate               *)
+(* ------------------------------------------------------------------ *)
+
+let e_service () =
+  section "SERVICE" "job engine: batch throughput and NPN cache hit rate";
+  let module Svc = Nxc_service in
+  (* Five base functions; every variant below is an NPN transform of
+     one of them, re-expressed as a minimized cover string.  A cold
+     batch therefore computes each class once and resolves the variants
+     from the cache; a warm rerun resolves everything. *)
+  let bases =
+    [ "x1x2 + x1'x2'"; "x1x2 + x2x3 + x1'x3'"; "x1 ^ x2 ^ x3";
+      "(x1 + x2')(x3 + x4)"; "x1x2x3 + x1'x2'x3'" ]
+  in
+  let variants_per_base = 5 in
+  let synth_exprs =
+    List.concat_map
+      (fun expr ->
+        let f = Boolfunc.table (Parse.expr expr) in
+        let n = Truth_table.n_vars f in
+        let variant i =
+          let t =
+            { Npn.perm = Array.init n (fun v -> (v + i) mod n);
+              input_neg = Array.init n (fun v -> (i lsr v) land 1 = 1);
+              output_neg = i land 1 = 1 }
+          in
+          Cover.to_string (Minimize.sop_table (Npn.apply t f))
+        in
+        expr :: List.init variants_per_base (fun i -> variant (i + 1)))
+      bases
+  in
+  let jobs_list =
+    List.map
+      (fun expr ->
+        { Svc.Job.id = None; budget_steps = None;
+          spec = Svc.Job.Synth { expr } })
+      synth_exprs
+    @ [ { Svc.Job.id = None; budget_steps = None;
+          spec = Svc.Job.Bist { rows = 8; cols = 8 } };
+        { Svc.Job.id = None; budget_steps = None;
+          spec =
+            Svc.Job.Yield { n = 16; density = 0.05; seed = 1; trials = 10 } } ]
+  in
+  let n_jobs = List.length jobs_list in
+  let time f =
+    let t0 = Obs.Clock.now_ns () in
+    let v = f () in
+    (v, Obs.Clock.ns_to_ms (Obs.Clock.now_ns () - t0))
+  in
+  let cache = Svc.Cache.create () in
+  let cold, cold_ms =
+    time (fun () -> Svc.Engine.run_jobs ?pool:!the_pool ~cache jobs_list)
+  in
+  let cold_hits = Svc.Cache.hits cache
+  and cold_misses = Svc.Cache.misses cache in
+  let warm, warm_ms =
+    time (fun () -> Svc.Engine.run_jobs ?pool:!the_pool ~cache jobs_list)
+  in
+  let warm_hits = Svc.Cache.hits cache - cold_hits in
+  let identical =
+    List.for_all2
+      (fun (a : Svc.Engine.outcome) b ->
+        J.to_string a.envelope = J.to_string b.Svc.Engine.envelope)
+      cold warm
+  in
+  let rate ms = float_of_int n_jobs /. (ms /. 1000.0) in
+  Format.printf
+    "%d jobs (%d synth over %d NPN classes + 2 simulations):@.  cold \
+     %.1f ms (%.0f jobs/s), %d hits / %d misses@.  warm %.1f ms (%.0f \
+     jobs/s), %d hits (rate %.2f)@.  cold and warm envelopes identical: %b@."
+    n_jobs
+    (List.length synth_exprs)
+    (List.length bases) cold_ms (rate cold_ms) cold_hits cold_misses warm_ms
+    (rate warm_ms) warm_hits
+    (float_of_int warm_hits /. float_of_int n_jobs)
+    identical;
+  (* determinism is the service contract *)
+  assert identical;
+  [ ("jobs", J.Int n_jobs);
+    ("cold_ms", J.Float cold_ms);
+    ("warm_ms", J.Float warm_ms);
+    ("cold_jobs_per_s", J.Float (rate cold_ms));
+    ("warm_jobs_per_s", J.Float (rate warm_ms));
+    ("cold_hits", J.Int cold_hits);
+    ("cold_misses", J.Int cold_misses);
+    ("warm_hits", J.Int warm_hits);
+    ("warm_hit_rate", J.Float (float_of_int warm_hits /. float_of_int n_jobs));
+    ("identical", J.Bool identical) ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("PAR", e_par); ("TIMING", timing) ]
+    ("PAR", e_par); ("SERVICE", e_service); ("TIMING", timing) ]
 
 (* Run one experiment under a wall-clock timer with a fresh metrics
    registry, and capture the headline numbers plus the metric snapshot. *)

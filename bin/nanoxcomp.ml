@@ -8,6 +8,8 @@
      flow   <expr>      end-to-end synthesize/map/verify pipeline
      yield              k x k recovery statistics
      stats  <expr>      end-to-end flow + full metrics snapshot
+     batch  <jobs.jsonl>  run a JSONL job file through the service engine
+     serve              long-lived worker: job specs on stdin, results on stdout
 
    Every subcommand accepts --trace[=FILE], --trace-format, --metrics,
    the budget flags (--budget-steps, --deadline-ms, --on-exhaustion)
@@ -451,6 +453,126 @@ let stats_cmd =
           snapshot")
     Term.(const run $ common_term $ expr_arg $ json $ n $ density_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* service modes: batch + serve                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Svc = Nxc_service
+
+let cache_arg =
+  let doc =
+    "Persist the result cache to $(docv) (loaded before the run, saved \
+     after).  $(b,--cache) alone uses the default path; without the \
+     flag the cache lives in memory for the run only."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Svc.Cache.default_path) (some string) None
+    & info [ "cache" ] ~docv:"FILE" ~doc)
+
+let with_disk_cache path f =
+  let cache = Svc.Cache.create () in
+  (match path with
+  | None -> ()
+  | Some p -> (
+      match Svc.Cache.load cache p with
+      | Ok _ -> ()
+      | Error e ->
+          Format.eprintf "nanoxcomp: ignoring cache %s: %s@." p
+            (Guard.Error.to_string e)));
+  let r = f cache in
+  (match path with
+  | None -> ()
+  | Some p -> (
+      match Svc.Cache.save cache p with
+      | Ok _ -> ()
+      | Error e ->
+          Format.eprintf "nanoxcomp: cannot save cache %s: %s@." p
+            (Guard.Error.to_string e)));
+  r
+
+let batch_cmd =
+  let run jobs path cache_path output =
+    let lines =
+      match open_in path with
+      | exception Sys_error msg ->
+          die_error (Guard.Error.invalid_input msg)
+      | ic ->
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file ->
+                close_in ic;
+                List.rev acc
+            | "" -> go acc
+            | l -> go (l :: acc)
+          in
+          go []
+    in
+    let outcomes =
+      Nxc_par.Pool.with_jobs jobs @@ fun pool ->
+      with_disk_cache cache_path @@ fun cache ->
+      Svc.Engine.run_lines ?pool ~cache lines
+    in
+    let oc, close =
+      match output with
+      | None -> (stdout, fun () -> flush stdout)
+      | Some p -> (
+          match open_out p with
+          | oc -> (oc, fun () -> close_out oc)
+          | exception Sys_error msg ->
+              die_error (Guard.Error.invalid_input msg))
+    in
+    List.iter
+      (fun o ->
+        output_string oc (Obs.Json.to_string o.Svc.Engine.envelope);
+        output_char oc '\n')
+      outcomes;
+    close ();
+    exit (Svc.Engine.batch_exit outcomes)
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOBS" ~doc:"JSONL job file (one spec per line)")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Write result envelopes to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "process a JSONL job file through the service engine \
+          (deterministically ordered results, NPN-cached synthesis)")
+    Term.(const run $ common_term $ path $ cache_arg $ output)
+
+let serve_cmd =
+  let run _jobs cache_path =
+    with_disk_cache cache_path @@ fun cache ->
+    let rec loop () =
+      match input_line stdin with
+      | exception End_of_file -> ()
+      | "" -> loop ()
+      | line ->
+          let o = Svc.Engine.run_line ~cache line in
+          print_string (Obs.Json.to_string o.Svc.Engine.envelope);
+          print_newline ();
+          flush stdout;
+          loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "long-lived worker: read one JSON job spec per stdin line, \
+          answer with one result envelope per stdout line")
+    Term.(const run $ common_term $ cache_arg)
+
 let () =
   (* NANOXCOMP_VERBOSE=debug|info enables library tracing *)
   (match Sys.getenv_opt "NANOXCOMP_VERBOSE" with
@@ -476,7 +598,7 @@ let () =
        Cmd.eval_value
          (Cmd.group info
             [ synth_cmd; suite_cmd; bist_cmd; bism_cmd; flow_cmd; yield_cmd;
-              pla_cmd; machine_cmd; stats_cmd ])
+              pla_cmd; machine_cmd; stats_cmd; batch_cmd; serve_cmd ])
      with
     | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
     | Error (`Parse | `Term) -> 2

@@ -1,0 +1,79 @@
+(** NPN canonicalization of Boolean functions.
+
+    Two functions are NPN-equivalent when one can be obtained from the
+    other by permuting inputs (P), negating a subset of the inputs (N)
+    and optionally negating the output (the leading N) — [2{^n+1}·n!]
+    transforms in total.  Synthesis cost is essentially a property of
+    the NPN class: input permutation and input negation only relabel
+    literals, so covers, crossbar dimensions and lattice sizes carry
+    over unchanged, which makes the canonical form the natural key for
+    the {!Nxc_service} result cache.
+
+    The canonical representative of a class is the transform image with
+    the smallest truth table (by {!Truth_table.compare}), ties broken
+    in favor of a transform with no output negation; for a fixed input
+    the search is deterministic, so equal functions always map to the
+    same transform, not just the same class, and [output_neg] of the
+    chosen transform depends only on the function's NP-subclass.
+
+    Functions with more than {!exhaustive_limit} variables (and
+    exhaustive searches cut short by an exhausted
+    {!Nxc_guard.Budget.t}, counted under [guard.degrade.npn_semi]) fall
+    back to a {e semi}-canonical form: only output negation is
+    considered.  Keys remain correct — equal functions still share a
+    key — the cache merely stops unifying permuted variants. *)
+
+type transform = {
+  perm : int array;
+      (** [perm.(i)] is the transformed-function input that original
+          input [i] reads (a permutation of [0 .. n-1]). *)
+  input_neg : bool array;
+      (** [input_neg.(i)] negates original input [i]. *)
+  output_neg : bool;  (** negate the output after the N/P steps *)
+}
+
+val identity : int -> transform
+(** The identity transform over [n] inputs. *)
+
+val apply : transform -> Truth_table.t -> Truth_table.t
+(** [apply t f] is the function [g] with
+    [g(x) = t.output_neg XOR f(y)] where
+    [y{_i} = x{_t.perm.(i)} XOR t.input_neg.(i)].
+    @raise Invalid_argument on an arity mismatch. *)
+
+val exhaustive_limit : int
+(** Largest arity (6) searched exhaustively; above it {!canonical}
+    returns the semi-canonical form. *)
+
+val num_transforms : int -> int
+(** [num_transforms n] is [2{^n+1}·n!], the size of the search space
+    {!canonical} covers below {!exhaustive_limit}. *)
+
+val canonical :
+  ?guard:Nxc_guard.Budget.t -> Truth_table.t -> transform * Truth_table.t
+(** [canonical f] is [(t, g)] with [apply t f = g] and [g] minimal over
+    the class (see the module preamble for the semi-canonical
+    fallbacks).  One step of [guard] (default: the ambient budget) is
+    charged per candidate transform. *)
+
+val table_key : Truth_table.t -> string
+(** Exact content key of a table: arity plus the table bits in hex.
+    Equal tables, and nothing else, share a key. *)
+
+val canonical_key : ?guard:Nxc_guard.Budget.t -> Truth_table.t -> string
+(** [table_key (snd (canonical f))]: all members of an NPN class map to
+    this one key (below {!exhaustive_limit}). *)
+
+val cover_to_canon : transform -> Cover.t -> Cover.t
+(** [cover_to_canon t c] relabels a cover of [f] into the input
+    coordinates of [apply t f]: literal [(v, p)] becomes
+    [(t.perm.(v), p XOR t.input_neg.(v))].  Output negation is {e not}
+    applied — when [t.output_neg] the result covers the complement of
+    [apply t f]; callers track that phase separately
+    (cf. {!Nxc_service.Engine}).
+    @raise Invalid_argument on an arity mismatch. *)
+
+val cover_of_canon : transform -> Cover.t -> Cover.t
+(** Inverse relabeling: [cover_of_canon t (cover_to_canon t c)] is [c]
+    cube for cube.
+    @raise Invalid_argument on an arity mismatch. *)

@@ -1,0 +1,126 @@
+(* In-memory LRU store keyed by opaque strings, with JSONL persistence.
+   Recency is a monotonic tick per entry; eviction scans for the
+   minimum, which is fine at the capacities the service uses. *)
+
+module J = Nxc_obs.Json
+module Error = Nxc_guard.Error
+
+let m_hits = Nxc_obs.Metrics.counter "service.cache.hits"
+let m_misses = Nxc_obs.Metrics.counter "service.cache.misses"
+let m_evictions = Nxc_obs.Metrics.counter "service.cache.evictions"
+
+type entry = { mutable value : J.t; mutable stamp : int }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  cap : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Nxc_service.Cache.create: capacity <= 0";
+  { tbl = Hashtbl.create 64; cap = capacity; tick = 0; hits = 0; misses = 0;
+    evictions = 0 }
+
+let capacity t = t.cap
+let size t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let peek t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> Some e.value
+  | None -> None
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Nxc_obs.Metrics.incr m_hits;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Nxc_obs.Metrics.incr m_misses;
+      None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (key, e.stamp))
+    t.tbl;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      t.evictions <- t.evictions + 1;
+      Nxc_obs.Metrics.incr m_evictions
+  | None -> ()
+
+let add t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      e.value <- value;
+      touch t e
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+      let e = { value; stamp = 0 } in
+      touch t e;
+      Hashtbl.add t.tbl key e
+
+let default_path = ".nxc-cache"
+
+let save t path =
+  let entries =
+    Hashtbl.fold (fun k e acc -> (k, e.value) :: acc) t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  match open_out path with
+  | exception Sys_error msg -> Error (Error.internal msg)
+  | oc ->
+      List.iter
+        (fun (k, v) ->
+          output_string oc (J.to_string (J.Obj [ ("k", J.Str k); ("v", v) ]));
+          output_char oc '\n')
+        entries;
+      close_out oc;
+      Ok (List.length entries)
+
+let load t path =
+  if not (Sys.file_exists path) then Ok 0
+  else
+    match open_in path with
+    | exception Sys_error msg -> Error (Error.internal msg)
+    | ic ->
+        let bad line reason =
+          close_in ic;
+          Error (Error.invalid_input ~line reason)
+        in
+        let rec go line count =
+          match input_line ic with
+          | exception End_of_file ->
+              close_in ic;
+              Ok count
+          | "" -> go (line + 1) count
+          | s -> (
+              match J.of_string s with
+              | exception J.Parse_error msg ->
+                  bad line (Printf.sprintf "cache entry: %s" msg)
+              | j -> (
+                  match (J.member "k" j, J.member "v" j) with
+                  | Some (J.Str k), Some v ->
+                      add t k v;
+                      go (line + 1) (count + 1)
+                  | _ -> bad line "cache entry: expected {\"k\": ..., \"v\": ...}"))
+        in
+        go 1 0

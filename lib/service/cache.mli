@@ -1,0 +1,60 @@
+(** Content-addressed result cache with LRU eviction and optional
+    on-disk persistence.
+
+    The store maps opaque string keys — NPN-canonical function keys
+    ({!Nxc_logic.Npn}) or canonical job-spec strings ({!Job}) — to JSON
+    values.  It is the memory of the {!Engine}: repeated or
+    NPN-symmetric requests resolve here instead of re-running
+    QM/Espresso/lattice search or a seeded simulation.
+
+    Lookups and insertions maintain the [service.cache.hits],
+    [service.cache.misses] and [service.cache.evictions] counters in
+    {!Nxc_obs.Metrics} (plus per-instance totals for reporting), so a
+    warm run is visible in [--metrics] output.
+
+    Not thread-safe: the engine performs all cache traffic on the main
+    domain (see {!Engine}), so worker domains never touch a cache. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty cache holding at most [capacity] (default 4096)
+    entries; inserting into a full cache evicts the least recently
+    used entry. *)
+
+val capacity : t -> int
+
+val size : t -> int
+(** Entries currently stored. *)
+
+val peek : t -> string -> Nxc_obs.Json.t option
+(** Lookup without touching recency or the hit/miss counters (used by
+    the engine's planning pass). *)
+
+val find : t -> string -> Nxc_obs.Json.t option
+(** Recorded lookup: bumps recency and counts a hit or a miss. *)
+
+val add : t -> string -> Nxc_obs.Json.t -> unit
+(** Insert or overwrite, evicting the LRU entry when full. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val default_path : string
+(** [".nxc-cache"] — the CLI's default persistence file (gitignored). *)
+
+(** {2 Persistence}
+
+    One JSON object [{"k": key, "v": value}] per line, sorted by key so
+    the file is deterministic for a given content. *)
+
+val save : t -> string -> (int, Nxc_guard.Error.t) result
+(** Write every entry to [path]; returns the number written. *)
+
+val load : t -> string -> (int, Nxc_guard.Error.t) result
+(** Merge the entries of [path] into the cache (no hit/miss
+    accounting); returns the number loaded.  A missing file is [Ok 0];
+    a malformed line is an [`Invalid_input] carrying its line number. *)

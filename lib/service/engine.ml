@@ -1,0 +1,396 @@
+(* Job engine: sequential planning + cache resolution on the calling
+   domain, parallel computation of cache misses on the pool.
+
+   The cold and warm paths share one rendering function per kind (the
+   leader computes the *cache value*, then renders it exactly like a
+   hit would), so envelopes are byte-identical whether they were
+   computed, deduplicated within the batch, or served from a warm
+   on-disk cache. *)
+
+open Nxc_logic
+module J = Nxc_obs.Json
+module Error = Nxc_guard.Error
+module Budget = Nxc_guard.Budget
+module R = Nxc_reliability
+module C = Nxc_core
+
+let m_jobs = Nxc_obs.Metrics.counter "service.jobs"
+let m_errors = Nxc_obs.Metrics.counter "service.errors"
+
+type outcome = { envelope : J.t; exit_code : int; cached : bool }
+
+(* a planned job: either dead on arrival, or keyed with a way to
+   compute the cache value and a way to render a value into the result
+   payload (plus its exit-code equivalent) *)
+type keyed = {
+  key : string;
+  compute : unit -> (J.t, Error.t) result;
+  render : J.t -> (J.t * int, Error.t) result;
+}
+
+type plan = Bad of Error.t | Keyed of keyed
+
+let with_job_budget (job : Job.t) f =
+  match job.Job.budget_steps with
+  | Some steps ->
+      let b = Budget.create ~label:"job" ~steps () in
+      Budget.with_current b f
+  | None -> f ()
+
+(* ------------------------------------------------------------------ *)
+(* synth jobs: NPN-keyed cover cache                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cube_to_chars n cube =
+  String.init n (fun i ->
+      match Cube.polarity_of cube i with
+      | Some Cube.Pos -> '1'
+      | Some Cube.Neg -> '0'
+      | None -> '-')
+
+let cube_of_chars s =
+  let n = String.length s in
+  let lits = ref [] in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> lits := (i, Cube.Pos) :: !lits
+      | '0' -> lits := (i, Cube.Neg) :: !lits
+      | '-' -> ()
+      | _ -> failwith "bad cube char")
+    s;
+  Cube.of_literals n !lits
+
+let cover_to_json c =
+  J.List (List.map (fun cube -> J.Str (cube_to_chars (Cover.n_vars c) cube)) (Cover.cubes c))
+
+let cover_of_json n = function
+  | J.List cubes ->
+      Cover.make n
+        (List.map
+           (function
+             | J.Str s when String.length s = n -> cube_of_chars s
+             | _ -> failwith "bad cube")
+           cubes)
+  | _ -> failwith "bad cover"
+
+let corrupt () = Error (Error.internal "corrupt cache entry for synth job")
+
+let plan_synth (job : Job.t) expr =
+  match Parse.expr_result expr with
+  | Error e -> Bad e
+  | Ok f ->
+      let n = Boolfunc.n_vars f in
+      let tr, canon = Npn.canonical (Boolfunc.table f) in
+      let phase = if tr.Npn.output_neg then "-" else "+" in
+      let budget_tag =
+        match job.Job.budget_steps with
+        | Some b -> ":b" ^ string_of_int b
+        | None -> ""
+      in
+      let key = "npn:" ^ Npn.table_key canon ^ phase ^ budget_tag in
+      let compute () =
+        with_job_budget job @@ fun () ->
+        match
+          ( Minimize.sop_result f,
+            Minimize.sop_result (Boolfunc.dual f) )
+        with
+        | Ok c, Ok d ->
+            Ok
+              (J.Obj
+                 [ ("n", J.Int n);
+                   ("cover", cover_to_json (Npn.cover_to_canon tr c.Minimize.cover));
+                   ("dual", cover_to_json (Npn.cover_to_canon tr d.Minimize.cover));
+                   ("degraded", J.Bool (c.Minimize.degraded || d.Minimize.degraded)) ]
+              )
+        | Error e, _ | _, Error e -> Error e
+      in
+      let render value =
+        match
+          ( J.member "cover" value, J.member "dual" value,
+            J.member "degraded" value )
+        with
+        | Some cj, Some dj, Some (J.Bool degraded) -> (
+            match (cover_of_json n cj, cover_of_json n dj) with
+            | exception _ -> corrupt ()
+            | canon_cover, canon_dual ->
+                let cover = Npn.cover_of_canon tr canon_cover in
+                let dual = Npn.cover_of_canon tr canon_dual in
+                if
+                  not
+                    (Minimize.verify cover f
+                    && Minimize.verify dual (Boolfunc.dual f))
+                then corrupt ()
+                else
+                  let p = Cover.num_cubes cover in
+                  let pd = Cover.num_cubes dual in
+                  let lits = List.length (Cover.distinct_literals cover) in
+                  let dims rows cols =
+                    J.Obj [ ("rows", J.Int rows); ("cols", J.Int cols) ]
+                  in
+                  Ok
+                    ( J.Obj
+                        [ ("n", J.Int n);
+                          ("products", J.Int p);
+                          ("dual_products", J.Int pd);
+                          ("distinct_literals", J.Int lits);
+                          ("cover", J.Str (Cover.to_string cover));
+                          (* the paper's Fig. 3 / Fig. 5 size formulas *)
+                          ("diode", dims p (lits + 1));
+                          ("fet", dims lits (p + pd));
+                          ("lattice", dims pd p);
+                          ("degraded", J.Bool degraded);
+                          ("verified", J.Bool true) ],
+                      0 ))
+        | _ -> corrupt ()
+      in
+      Keyed { key; compute; render }
+
+(* ------------------------------------------------------------------ *)
+(* seeded simulation jobs: whole payload cached under the spec key     *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_of_string = function
+  | "blind" -> R.Bism.Blind
+  | "greedy" -> R.Bism.Greedy
+  | _ -> R.Bism.Hybrid 10
+
+let plan_sim (job : Job.t) compute_payload ~exit_of =
+  let compute () = with_job_budget job compute_payload in
+  let render value = Ok (value, exit_of value) in
+  Keyed { key = Job.cache_key job; compute; render }
+
+let exit_zero _ = 0
+
+let plan_flow job expr n density seed =
+  match Parse.expr_result expr with
+  | Error e -> Bad e
+  | Ok f ->
+      plan_sim job
+        (fun () ->
+          let chip =
+            R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n
+              (R.Defect.uniform density)
+          in
+          match C.Flow.run_result (R.Rng.create (seed + 1)) ~chip f with
+          | Error e -> Error e
+          | Ok r ->
+              let lattice = C.Synth.best_lattice r.C.Flow.impl in
+              Ok
+                (J.Obj
+                   [ ("mapped", J.Bool r.C.Flow.bism.R.Bism.success);
+                     ("functional", J.Bool r.C.Flow.functional);
+                     ( "lattice",
+                       J.Obj
+                         [ ("rows", J.Int (Nxc_lattice.Lattice.rows lattice));
+                           ("cols", J.Int (Nxc_lattice.Lattice.cols lattice)) ]
+                     );
+                     ( "defect_pct",
+                       J.Float (100.0 *. R.Defect.actual_density chip) ) ]))
+        ~exit_of:(fun value ->
+          match J.member "functional" value with
+          | Some (J.Bool true) -> 0
+          | _ -> 5)
+
+let plan_bist job rows cols =
+  plan_sim job
+    (fun () ->
+      let plan = R.Bist.plan ~rows ~cols in
+      let universe = R.Fault_model.universe ~rows ~cols in
+      let cov, _ = R.Bist.coverage plan universe in
+      Ok
+        (J.Obj
+           [ ("configs", J.Int (R.Bist.num_configs plan));
+             ("group_configs", J.Int (R.Bisd.num_group_configs plan));
+             ("vectors", J.Int (R.Bist.num_vectors plan));
+             ("faults", J.Int (List.length universe));
+             ("coverage_pct", J.Float (100.0 *. cov)) ]))
+    ~exit_of:exit_zero
+
+let plan_bism job n k density seed trials scheme =
+  plan_sim job
+    (fun () ->
+      let mc, _ =
+        R.Bism.monte_carlo (R.Rng.create seed) (scheme_of_string scheme)
+          ~trials ~n
+          ~profile:(R.Defect.uniform density)
+          ~k_rows:k ~k_cols:k ~max_configs:1000
+      in
+      Ok
+        (J.Obj
+           [ ("mapped", J.Int mc.R.Bism.mc_mapped);
+             ("trials", J.Int trials);
+             ("avg_configs", J.Float mc.R.Bism.mc_avg_configs) ]))
+    ~exit_of:exit_zero
+
+let plan_yield job n density seed trials =
+  plan_sim job
+    (fun () ->
+      let profile = R.Defect.uniform density in
+      let mean =
+        R.Yield_model.expected_max_k (R.Rng.create seed) ~trials ~n ~profile
+      in
+      let at y =
+        R.Yield_model.guaranteed_k
+          (R.Rng.create (seed + 1))
+          ~trials ~n ~profile ~min_yield:y
+      in
+      Ok
+        (J.Obj
+           [ ("mean_max_k", J.Float mean);
+             ("k_at_50", J.Int (at 0.5));
+             ("k_at_90", J.Int (at 0.9));
+             ("k_at_99", J.Int (at 0.99)) ]))
+    ~exit_of:exit_zero
+
+let plan (job : Job.t) =
+  match job.Job.spec with
+  | Job.Synth { expr } -> plan_synth job expr
+  | Job.Flow { expr; n; density; seed } -> plan_flow job expr n density seed
+  | Job.Bist { rows; cols } -> plan_bist job rows cols
+  | Job.Bism { n; k; density; seed; trials; scheme } ->
+      plan_bism job n k density seed trials scheme
+  | Job.Yield { n; density; seed; trials } -> plan_yield job n density seed trials
+
+(* ------------------------------------------------------------------ *)
+(* envelopes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let id_json = function Some i -> J.Str i | None -> J.Null
+
+let ok_envelope ?id ~kind (result, exit_code) ~cached =
+  Nxc_obs.Metrics.incr m_jobs;
+  { envelope =
+      J.Obj
+        [ ("id", id_json id); ("kind", J.Str kind); ("status", J.Str "ok");
+          ("exit", J.Int exit_code); ("result", result) ];
+    exit_code;
+    cached }
+
+let error_envelope ?id ?kind e =
+  Nxc_obs.Metrics.incr m_jobs;
+  Nxc_obs.Metrics.incr m_errors;
+  Error.count e;
+  let exit_code = Error.exit_code e in
+  { envelope =
+      J.Obj
+        [ ("id", id_json id);
+          ("kind", match kind with Some k -> J.Str k | None -> J.Null);
+          ("status", J.Str "error"); ("exit", J.Int exit_code);
+          ("error", J.Str (Error.to_string e)) ];
+    exit_code;
+    cached = false }
+
+let render_or_error ?id ~kind keyed value ~cached =
+  match keyed.render value with
+  | Ok rendered -> ok_envelope ?id ~kind rendered ~cached
+  | Error e -> error_envelope ?id ~kind e
+
+(* ------------------------------------------------------------------ *)
+(* drivers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* tags produced by the sequential planning pass, in job order *)
+type tagged =
+  | TBad of Job.t option * Error.t
+  | TLead of Job.t * keyed
+  | TFollow of Job.t * keyed
+
+let resolve_sequential cache (job : Job.t) keyed =
+  let id = job.Job.id and kind = Job.kind job in
+  match Cache.find cache keyed.key with
+  | Some value -> render_or_error ?id ~kind keyed value ~cached:true
+  | None -> (
+      match
+        Nxc_obs.Span.with_ ~name:"service.compute"
+          ~attrs:(fun () -> [ ("kind", J.Str kind) ])
+          keyed.compute
+      with
+      | Ok value ->
+          Cache.add cache keyed.key value;
+          render_or_error ?id ~kind keyed value ~cached:false
+      | Error e -> error_envelope ?id ~kind e)
+
+let run_tagged ?pool ?cache tags =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  Nxc_obs.Span.with_ ~name:"service.batch" @@ fun () ->
+  (* second pass: mark the first uncached job of each key a leader *)
+  let seen = Hashtbl.create 16 in
+  let tags =
+    List.map
+      (function
+        | TLead (job, k) | TFollow (job, k) ->
+            if Cache.peek cache k.key <> None || Hashtbl.mem seen k.key then
+              TFollow (job, k)
+            else begin
+              Hashtbl.add seen k.key ();
+              TLead (job, k)
+            end
+        | t -> t)
+      tags
+  in
+  let leaders =
+    List.filter_map (function TLead (_, k) -> Some k | _ -> None) tags
+  in
+  let computed =
+    Nxc_par.Pool.map ?pool
+      (fun k ->
+        Nxc_obs.Span.with_ ~name:"service.compute" (fun () -> k.compute ()))
+      leaders
+  in
+  (* final pass, on the calling domain, in job order: all cache reads
+     and writes happen here, so hit/miss assignment is deterministic *)
+  let remaining = ref computed in
+  let next () =
+    match !remaining with
+    | r :: rest ->
+        remaining := rest;
+        r
+    | [] -> assert false
+  in
+  List.map
+    (fun tag ->
+      match tag with
+      | TBad (job, e) ->
+          error_envelope
+            ?id:(Option.bind job (fun j -> j.Job.id))
+            ?kind:(Option.map Job.kind job)
+            e
+      | TLead (job, k) -> (
+          let id = job.Job.id and kind = Job.kind job in
+          ignore (Cache.find cache k.key : J.t option) (* counts the miss *);
+          match next () with
+          | Ok value ->
+              Cache.add cache k.key value;
+              render_or_error ?id ~kind k value ~cached:false
+          | Error e -> error_envelope ?id ~kind e)
+      | TFollow (job, k) -> resolve_sequential cache job k)
+    tags
+
+let tag_job job = match plan job with
+  | Bad e -> TBad (Some job, e)
+  | Keyed k -> TFollow (job, k)
+
+let run_jobs ?pool ?cache jobs = run_tagged ?pool ?cache (List.map tag_job jobs)
+
+let tag_line line =
+  match Job.of_line line with
+  | Error e -> TBad (None, e)
+  | Ok job -> tag_job job
+
+let run_lines ?pool ?cache lines =
+  run_tagged ?pool ?cache (List.map tag_line lines)
+
+let run_line ?cache line =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  match Job.of_line line with
+  | Error e -> error_envelope e
+  | Ok job -> (
+      match plan job with
+      | Bad e -> error_envelope ?id:job.Job.id ~kind:(Job.kind job) e
+      | Keyed k -> resolve_sequential cache job k)
+
+let batch_exit outcomes =
+  match List.find_opt (fun o -> o.exit_code <> 0) outcomes with
+  | Some o -> o.exit_code
+  | None -> 0

@@ -1,0 +1,67 @@
+(** The job engine: schedule {!Job} specs, resolve them against a
+    {!Cache}, compute misses on a {!Nxc_par.Pool}, and emit one JSON
+    result envelope per job.
+
+    {2 Envelope}
+
+    Every job produces exactly one line:
+
+    {v
+ {"id":"j1","kind":"synth","status":"ok","exit":0,"result":{...}}
+ {"id":null,"kind":null,"status":"error","exit":3,"error":"invalid input: ..."}
+    v}
+
+    ["exit"] is the job's CLI exit-code equivalent (0 ok, 1 internal,
+    3 invalid input, 4 budget exhausted under a [Fail] policy, 5
+    non-functional flow).  Envelopes are {e deterministic}: they carry
+    no wall-clock times and no cache provenance, so a warm run, a cold
+    run and any [--jobs N] produce byte-identical output for the same
+    job list.  Timings and hit/miss traffic are reported through
+    {!Nxc_obs} spans and metrics instead ([service.*],
+    [service.cache.*]).
+
+    {2 Caching}
+
+    [Synth] jobs are keyed by the NPN class of their parsed function
+    ({!Nxc_logic.Npn.canonical_key} plus an output-phase tag): the
+    cache stores the minimized covers of the function and its dual in
+    canonical input coordinates, and a hit maps them back through the
+    request's own NPN transform — so permuted/negated variants reuse
+    one QM/Espresso run and still receive exact covers of {e their}
+    function (re-verified on every hit).  The other kinds are seeded
+    simulations; their whole result envelope payload is cached under
+    the canonical spec string ({!Job.cache_key}).
+
+    {2 Determinism under parallelism}
+
+    [run_jobs] plans sequentially on the calling domain: every job is
+    parsed and keyed in order, the {e first} job of each key group (not
+    already cached) becomes the group's single computing leader, and
+    only leaders are dispatched to the pool.  Cache reads and writes
+    all happen on the calling domain, so which job computes and which
+    job hits is a function of the job list and the cache contents —
+    never of scheduling. *)
+
+type outcome = {
+  envelope : Nxc_obs.Json.t;  (** the result line *)
+  exit_code : int;  (** the envelope's ["exit"] field *)
+  cached : bool;  (** resolved from the cache (not part of the envelope) *)
+}
+
+val run_jobs :
+  ?pool:Nxc_par.Pool.t -> ?cache:Cache.t -> Job.t list -> outcome list
+(** Process a batch, one outcome per job in order.  Without [?cache] a
+    fresh in-memory cache still deduplicates within the batch. *)
+
+val run_lines :
+  ?pool:Nxc_par.Pool.t -> ?cache:Cache.t -> string list -> outcome list
+(** {!run_jobs} over raw JSONL lines; a line {!Job.of_line} rejects
+    becomes an error envelope (exit 3) rather than aborting the
+    batch. *)
+
+val run_line : ?cache:Cache.t -> string -> outcome
+(** Resolve a single line on the calling domain — the [serve] loop. *)
+
+val batch_exit : outcome list -> int
+(** The batch's process exit code: [0] when every job's ["exit"] is
+    [0], otherwise the first non-zero one in job order. *)

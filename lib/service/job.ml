@@ -1,0 +1,175 @@
+(* JSON job specs: strict field-checked parsing, canonical
+   re-serialization used as the cache key for seeded simulations. *)
+
+module J = Nxc_obs.Json
+module Error = Nxc_guard.Error
+
+type spec =
+  | Synth of { expr : string }
+  | Flow of { expr : string; n : int; density : float; seed : int }
+  | Bist of { rows : int; cols : int }
+  | Bism of {
+      n : int;
+      k : int;
+      density : float;
+      seed : int;
+      trials : int;
+      scheme : string;
+    }
+  | Yield of { n : int; density : float; seed : int; trials : int }
+
+type t = { id : string option; budget_steps : int option; spec : spec }
+
+let kind t =
+  match t.spec with
+  | Synth _ -> "synth"
+  | Flow _ -> "flow"
+  | Bist _ -> "bist"
+  | Bism _ -> "bism"
+  | Yield _ -> "yield"
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of Error.t
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad (Error.invalid_input s))) fmt
+
+let fields = function
+  | J.Obj kvs -> kvs
+  | _ -> bad "job spec: expected a JSON object"
+
+let get kvs key = List.assoc_opt key kvs
+
+let str kvs key =
+  match get kvs key with
+  | Some (J.Str s) -> s
+  | Some _ -> bad "job spec: %S must be a string" key
+  | None -> bad "job spec: missing required field %S" key
+
+let int_opt kvs key =
+  match get kvs key with
+  | Some (J.Int i) -> Some i
+  | Some _ -> bad "job spec: %S must be an integer" key
+  | None -> None
+
+let int_d kvs key default = Option.value ~default (int_opt kvs key)
+
+let pos_int_d kvs key default =
+  let v = int_d kvs key default in
+  if v <= 0 then bad "job spec: %S must be positive" key;
+  v
+
+let float_d kvs key default =
+  match get kvs key with
+  | Some (J.Float f) -> f
+  | Some (J.Int i) -> float_of_int i
+  | Some _ -> bad "job spec: %S must be a number" key
+  | None -> default
+
+let density_d kvs key default =
+  let v = float_d kvs key default in
+  if v < 0.0 || v > 1.0 then bad "job spec: %S must be in [0, 1]" key;
+  v
+
+let check_known kvs allowed =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then bad "job spec: unknown field %S" k)
+    kvs
+
+let common = [ "kind"; "id"; "budget_steps" ]
+
+let of_json json =
+  try
+    let kvs = fields json in
+    let id =
+      match get kvs "id" with
+      | Some (J.Str s) -> Some s
+      | Some _ -> bad "job spec: \"id\" must be a string"
+      | None -> None
+    in
+    let budget_steps =
+      match int_opt kvs "budget_steps" with
+      | Some b when b <= 0 -> bad "job spec: \"budget_steps\" must be positive"
+      | b -> b
+    in
+    let spec =
+      match str kvs "kind" with
+      | "synth" ->
+          check_known kvs ("expr" :: common);
+          Synth { expr = str kvs "expr" }
+      | "flow" ->
+          check_known kvs ("expr" :: "n" :: "density" :: "seed" :: common);
+          Flow
+            { expr = str kvs "expr"; n = pos_int_d kvs "n" 24;
+              density = density_d kvs "density" 0.05;
+              seed = int_d kvs "seed" 42 }
+      | "bist" ->
+          check_known kvs ("rows" :: "cols" :: common);
+          Bist { rows = pos_int_d kvs "rows" 8; cols = pos_int_d kvs "cols" 8 }
+      | "bism" ->
+          check_known kvs
+            ("n" :: "k" :: "density" :: "seed" :: "trials" :: "scheme"
+            :: common);
+          let scheme =
+            match get kvs "scheme" with
+            | None -> "hybrid"
+            | Some (J.Str ("blind" | "greedy" | "hybrid") as s) ->
+                (match s with J.Str s -> s | _ -> assert false)
+            | Some (J.Str s) -> bad "job spec: unknown scheme %S" s
+            | Some _ -> bad "job spec: \"scheme\" must be a string"
+          in
+          Bism
+            { n = pos_int_d kvs "n" 32; k = pos_int_d kvs "k" 12;
+              density = density_d kvs "density" 0.05;
+              seed = int_d kvs "seed" 42; trials = pos_int_d kvs "trials" 20;
+              scheme }
+      | "yield" ->
+          check_known kvs ("n" :: "density" :: "seed" :: "trials" :: common);
+          Yield
+            { n = pos_int_d kvs "n" 32;
+              density = density_d kvs "density" 0.05;
+              seed = int_d kvs "seed" 1; trials = pos_int_d kvs "trials" 40 }
+      | k -> bad "job spec: unknown kind %S (have: synth, flow, bist, bism, yield)" k
+    in
+    Ok { id; budget_steps; spec }
+  with Bad e -> Error e
+
+let of_line line =
+  match J.of_string line with
+  | exception J.Parse_error msg ->
+      Error (Error.invalid_input (Printf.sprintf "job spec: %s" msg))
+  | json -> of_json json
+
+(* ------------------------------------------------------------------ *)
+(* canonical serialization                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spec_fields = function
+  | Synth { expr } -> [ ("kind", J.Str "synth"); ("expr", J.Str expr) ]
+  | Flow { expr; n; density; seed } ->
+      [ ("kind", J.Str "flow"); ("expr", J.Str expr); ("n", J.Int n);
+        ("density", J.Float density); ("seed", J.Int seed) ]
+  | Bist { rows; cols } ->
+      [ ("kind", J.Str "bist"); ("rows", J.Int rows); ("cols", J.Int cols) ]
+  | Bism { n; k; density; seed; trials; scheme } ->
+      [ ("kind", J.Str "bism"); ("n", J.Int n); ("k", J.Int k);
+        ("density", J.Float density); ("seed", J.Int seed);
+        ("trials", J.Int trials); ("scheme", J.Str scheme) ]
+  | Yield { n; density; seed; trials } ->
+      [ ("kind", J.Str "yield"); ("n", J.Int n); ("density", J.Float density);
+        ("seed", J.Int seed); ("trials", J.Int trials) ]
+
+let budget_field t =
+  match t.budget_steps with
+  | Some b -> [ ("budget_steps", J.Int b) ]
+  | None -> []
+
+let to_json t =
+  let id = match t.id with Some i -> [ ("id", J.Str i) ] | None -> [] in
+  J.Obj (id @ spec_fields t.spec @ budget_field t)
+
+let cache_key t =
+  "job:" ^ J.to_string (J.Obj (spec_fields t.spec @ budget_field t))

@@ -11,6 +11,10 @@ README.md (CLI contract section) in the same commit.
          nanoxcomp COMMAND …
   
   COMMANDS
+         batch [OPTION]… JOBS
+             process a JSONL job file through the service engine
+             (deterministically ordered results, NPN-cached synthesis)
+  
          bism [OPTION]…
              built-in self-mapping experiment
   
@@ -25,6 +29,10 @@ README.md (CLI contract section) in the same commit.
   
          pla [OPTION]… FILE
              synthesize every output of a Berkeley PLA file
+  
+         serve [OPTION]…
+             long-lived worker: read one JSON job spec per stdin line, answer
+             with one result envelope per stdout line
   
          stats [OPTION]… EXPR
              run the end-to-end flow once and print the pipeline metrics

@@ -1,0 +1,74 @@
+The service layer: batch mode reads a JSONL job file and prints one
+deterministic result envelope per job, in job order.
+
+  $ cat > jobs.jsonl <<'EOF'
+  > {"id":"a","kind":"synth","expr":"x1x2 + x1'x2'"}
+  > {"id":"b","kind":"synth","expr":"x2x3 + x2'x3'"}
+  > {"id":"c","kind":"synth","expr":"x1'x2 + x1x2'"}
+  > {"id":"d","kind":"bist","rows":4,"cols":4}
+  > {"id":"e","kind":"bism","n":24,"k":10,"density":0.03,"seed":7,"trials":5,"scheme":"greedy"}
+  > EOF
+
+  $ nanoxcomp batch jobs.jsonl | tee cold.out
+  {"id":"a","kind":"synth","status":"ok","exit":0,"result":{"n":2,"products":2,"dual_products":2,"distinct_literals":4,"cover":"x1'x2' + x1x2","diode":{"rows":2,"cols":5},"fet":{"rows":4,"cols":4},"lattice":{"rows":2,"cols":2},"degraded":false,"verified":true}}
+  {"id":"b","kind":"synth","status":"ok","exit":0,"result":{"n":3,"products":2,"dual_products":2,"distinct_literals":4,"cover":"x2'x3' + x2x3","diode":{"rows":2,"cols":5},"fet":{"rows":4,"cols":4},"lattice":{"rows":2,"cols":2},"degraded":false,"verified":true}}
+  {"id":"c","kind":"synth","status":"ok","exit":0,"result":{"n":2,"products":2,"dual_products":2,"distinct_literals":4,"cover":"x1x2' + x1'x2","diode":{"rows":2,"cols":5},"fet":{"rows":4,"cols":4},"lattice":{"rows":2,"cols":2},"degraded":false,"verified":true}}
+  {"id":"d","kind":"bist","status":"ok","exit":0,"result":{"configs":8,"group_configs":4,"vectors":28,"faults":58,"coverage_pct":100.0}}
+  {"id":"e","kind":"bism","status":"ok","exit":0,"result":{"mapped":5,"trials":5,"avg_configs":3.2}}
+
+Envelopes carry no wall-clock times and no cache provenance, so a
+parallel run can never change the bytes:
+
+  $ nanoxcomp batch jobs.jsonl --jobs 4 | cmp cold.out -
+
+Job c (XOR2) is an input-negated sibling of job a (XNOR2): one NPN
+class, so a cold batch computes the class once and resolves c from the
+cache.  Job b spells the same truth table over x2/x3 but parses as a
+3-variable function, which is a different class on purpose — arity is
+part of the key.
+
+  $ nanoxcomp batch jobs.jsonl --metrics -o /dev/null | grep 'service\.'
+  counter   service.cache.evictions          0
+  counter   service.cache.hits               1
+  counter   service.cache.misses             4
+  counter   service.errors                   0
+  counter   service.jobs                     5
+
+Persistence: --cache [FILE] loads the store before the batch and saves
+it after, so a second process starts warm — every job hits, and the
+results are still byte-identical.
+
+  $ nanoxcomp batch jobs.jsonl --cache=store.jsonl -o /dev/null
+  $ wc -l < store.jsonl
+  4
+  $ nanoxcomp batch jobs.jsonl --cache=store.jsonl -o warm.out --metrics \
+  >   | grep 'service\.cache'
+  counter   service.cache.evictions          0
+  counter   service.cache.hits               5
+  counter   service.cache.misses             0
+  $ cmp cold.out warm.out
+
+A malformed spec becomes an error envelope, keeps its position in the
+output, and sets the process exit code to its invalid-input code:
+
+  $ printf '%s\n' '{"kind":"synth","expr":"x1 ^ x2"}' '{"kind":"warp"}' > bad.jsonl
+  $ nanoxcomp batch bad.jsonl
+  {"id":null,"kind":"synth","status":"ok","exit":0,"result":{"n":2,"products":2,"dual_products":2,"distinct_literals":4,"cover":"x1x2' + x1'x2","diode":{"rows":2,"cols":5},"fet":{"rows":4,"cols":4},"lattice":{"rows":2,"cols":2},"degraded":false,"verified":true}}
+  {"id":null,"kind":null,"status":"error","exit":3,"error":"invalid input: job spec: unknown kind \"warp\" (have: synth, flow, bist, bism, yield)"}
+  [3]
+
+Serve mode is the same engine as a line-oriented worker: one request
+line in, one envelope line out, errors reported in-band.
+
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '{"kind":"bist","rows":0,"cols":1}' | nanoxcomp serve
+  {"id":"q","kind":"synth","status":"ok","exit":0,"result":{"n":2,"products":1,"dual_products":2,"distinct_literals":2,"cover":"x1x2","diode":{"rows":1,"cols":3},"fet":{"rows":2,"cols":3},"lattice":{"rows":2,"cols":1},"degraded":false,"verified":true}}
+  {"id":null,"kind":null,"status":"error","exit":3,"error":"invalid input: job spec: \"rows\" must be positive"}
+
+The stats subcommand's machine-readable snapshot is pinned in full: it
+is the telemetry contract, and it must stay deterministic (no times,
+no rates) for exactly this kind of test.
+
+  $ nanoxcomp stats "x1x2 + x1'x2'" --json
+  flow: mapped=true functional=true
+  
+  {"counters":{"bism.configurations":1,"bism.remap_attempts":0,"bism.runs":1,"bism.successes":1,"bism.test_applications":4,"bist.plans":0,"bist.syndromes":0,"bist.vectors":0,"defect.chips_generated":1,"espresso.expand_iters":0,"espresso.minimize_calls":0,"espresso.rounds":0,"flow.escalations":0,"flow.functional":1,"flow.infeasible":0,"flow.runs":1,"guard.budget_exhausted":0,"guard.budgets":0,"guard.degradations":0,"guard.errors":0,"isop.calls":0,"isop.recursive_calls":0,"lattice.ar_syntheses":12,"lattice.equiv_checks":1,"minimize.degraded":0,"minimize.sop_calls":26,"montecarlo.trials":0,"npn.canonicalizations":0,"npn.semi":0,"par.batches":0,"par.chunks":0,"par.tasks":0,"qm.bnb_nodes":0,"qm.budget_exhausted":0,"qm.minimize_calls":26,"qm.prime_implicants":36,"service.cache.evictions":0,"service.cache.hits":0,"service.cache.misses":0,"service.errors":0,"service.jobs":0,"synth.degraded":0,"synth.functions":1,"synth.verifications":0},"gauges":{},"histograms":{"bism.configs_per_run":{"count":1,"sum":1,"min":1,"max":1,"buckets":[{"ge":1,"le":1,"n":1}]},"qm.primes_per_call":{"count":26,"sum":36,"min":1,"max":2,"buckets":[{"ge":1,"le":1,"n":16},{"ge":2,"le":3,"n":10}]}}}

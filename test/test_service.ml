@@ -1,0 +1,324 @@
+(* Service-layer tests: NPN canonicalization, the result cache, job
+   parsing and the engine's determinism/cache-equivalence contracts. *)
+
+open Nxc_logic
+module Tt = Truth_table
+module Svc = Nxc_service
+module G = Nxc_guard
+module J = Nxc_obs.Json
+
+(* ---------------- NPN transform enumeration (test-local) ----------- *)
+
+let permutations n =
+  let rec go prefix remaining acc =
+    match remaining with
+    | [] -> Array.of_list (List.rev prefix) :: acc
+    | _ ->
+        List.fold_left
+          (fun acc x ->
+            go (x :: prefix) (List.filter (fun y -> y <> x) remaining) acc)
+          acc remaining
+  in
+  List.rev (go [] (List.init n (fun i -> i)) [])
+
+let all_transforms n =
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun mask ->
+          let input_neg = Array.init n (fun i -> (mask lsr i) land 1 = 1) in
+          [ { Npn.perm; input_neg; output_neg = false };
+            { Npn.perm; input_neg; output_neg = true } ])
+        (List.init (1 lsl n) (fun m -> m)))
+    (permutations n)
+
+(* ---------------- NPN canonicalization ----------------------------- *)
+
+let test_npn_identity () =
+  let f = Tt.random 3 ~seed:17 in
+  Alcotest.(check bool)
+    "identity transform is a no-op" true
+    (Tt.equal (Npn.apply (Npn.identity 3) f) f)
+
+let test_npn_num_transforms () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "num_transforms %d" n)
+        (List.length (all_transforms n))
+        (Npn.num_transforms n))
+    [ 1; 2; 3; 4 ]
+
+(* the headline property: every one of the 2^(n+1)*n! transforms of a
+   function lands on the same canonical key *)
+let npn_class_key_prop n f =
+  let key = Npn.canonical_key f in
+  List.for_all
+    (fun t -> String.equal key (Npn.canonical_key (Npn.apply t f)))
+    (all_transforms n)
+
+let test_npn_class_n4 () =
+  (* deterministic n = 4 witness: all 768 transforms, one key *)
+  let f = Boolfunc.table (Parse.expr "(x1 + x2')(x3 + x4) + x1'x3'") in
+  Alcotest.(check bool) "768 transforms, one key" true (npn_class_key_prop 4 f)
+
+let test_npn_canonical_transform () =
+  (* canonical returns a witness transform: apply t f = g *)
+  List.iter
+    (fun seed ->
+      let f = Tt.random 3 ~seed in
+      let t, g = Npn.canonical f in
+      Alcotest.(check bool) "apply t f = g" true (Tt.equal (Npn.apply t f) g))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_npn_semi_above_limit () =
+  let n = Npn.exhaustive_limit + 1 in
+  let f = Tt.random n ~seed:3 in
+  let key = Npn.canonical_key f in
+  let nkey = Npn.canonical_key (Tt.bnot f) in
+  Alcotest.(check string) "semi-canonical unifies output phase" key nkey
+
+(* ---------------- cover transforms --------------------------------- *)
+
+let cover_semantics_prop (c, t) =
+  (* cover_to_canon relabels a cover of f into a cover of the NP image *)
+  let f = Tt.of_cover c in
+  let g = Npn.apply { t with Npn.output_neg = false } f in
+  Tt.equal (Tt.of_cover (Npn.cover_to_canon t c)) g
+
+let cover_roundtrip_prop (c, t) =
+  let c' = Npn.cover_of_canon t (Npn.cover_to_canon t c) in
+  String.equal (Cover.to_string c) (Cover.to_string c')
+
+let arb_cover_transform n =
+  let gen =
+    QCheck.Gen.(
+      pair (Testutil.gen_cover n)
+        (map
+           (fun (i, mask, o) ->
+             let perms = permutations n in
+             { Npn.perm = List.nth perms (i mod List.length perms);
+               input_neg = Array.init n (fun v -> (mask lsr v) land 1 = 1);
+               output_neg = o })
+           (triple nat (int_bound ((1 lsl n) - 1)) bool)))
+  in
+  QCheck.make ~print:(fun (c, _) -> Cover.to_string c) gen
+
+(* ---------------- cache ------------------------------------------- *)
+
+let test_cache_lru () =
+  let c = Svc.Cache.create ~capacity:2 () in
+  Svc.Cache.add c "a" (J.Int 1);
+  Svc.Cache.add c "b" (J.Int 2);
+  ignore (Svc.Cache.find c "a");
+  (* recency: a fresher than b *)
+  Svc.Cache.add c "c" (J.Int 3);
+  (* evicts b *)
+  Alcotest.(check int) "size at capacity" 2 (Svc.Cache.size c);
+  Alcotest.(check int) "one eviction" 1 (Svc.Cache.evictions c);
+  Alcotest.(check bool) "a survives" true (Svc.Cache.peek c "a" <> None);
+  Alcotest.(check bool) "b evicted" true (Svc.Cache.peek c "b" = None);
+  ignore (Svc.Cache.find c "b");
+  Alcotest.(check int) "hits counted" 1 (Svc.Cache.hits c);
+  Alcotest.(check int) "misses counted" 1 (Svc.Cache.misses c)
+
+let test_cache_save_load () =
+  let path = Filename.temp_file "nxc-cache" ".jsonl" in
+  let c = Svc.Cache.create () in
+  Svc.Cache.add c "k2" (J.Obj [ ("x", J.Int 2) ]);
+  Svc.Cache.add c "k1" (J.Str "one");
+  (match Svc.Cache.save c path with
+  | Ok n -> Alcotest.(check int) "saved" 2 n
+  | Error e -> Alcotest.failf "save: %s" (G.Error.to_string e));
+  let c' = Svc.Cache.create () in
+  (match Svc.Cache.load c' path with
+  | Ok n -> Alcotest.(check int) "loaded" 2 n
+  | Error e -> Alcotest.failf "load: %s" (G.Error.to_string e));
+  Alcotest.(check bool)
+    "value roundtrips" true
+    (Svc.Cache.peek c' "k1" = Some (J.Str "one"));
+  Sys.remove path;
+  (* a missing file is an empty cache, not an error *)
+  (match Svc.Cache.load c' path with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "missing file loaded %d entries" n
+  | Error e -> Alcotest.failf "missing file: %s" (G.Error.to_string e));
+  (* a malformed line reports its position *)
+  let oc = open_out path in
+  output_string oc "{\"k\":\"a\",\"v\":1}\nnot json\n";
+  close_out oc;
+  (match Svc.Cache.load (Svc.Cache.create ()) path with
+  | Error (`Invalid_input { G.Error.line = Some 2; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (G.Error.to_string e)
+  | Ok _ -> Alcotest.fail "malformed line accepted");
+  Sys.remove path
+
+(* ---------------- job parsing -------------------------------------- *)
+
+let test_job_parse_ok () =
+  List.iter
+    (fun line ->
+      match Svc.Job.of_line line with
+      | Ok j ->
+          (* canonical re-serialization parses back to the same job *)
+          let rt = Svc.Job.of_json (Svc.Job.to_json j) in
+          Alcotest.(check bool)
+            ("roundtrip " ^ line)
+            true
+            (rt = Ok j)
+      | Error e -> Alcotest.failf "%s: %s" line (G.Error.to_string e))
+    [ {|{"kind":"synth","expr":"x1x2 + x1'x2'"}|};
+      {|{"id":"j1","kind":"synth","expr":"x1 ^ x2","budget_steps":500}|};
+      {|{"kind":"flow","expr":"x1 ^ x2"}|};
+      {|{"kind":"bist","rows":4,"cols":6}|};
+      {|{"kind":"bism","n":24,"k":10,"scheme":"greedy"}|};
+      {|{"kind":"yield","n":16,"trials":5}|} ]
+
+let test_job_parse_bad () =
+  List.iter
+    (fun line ->
+      match Svc.Job.of_line line with
+      | Error (`Invalid_input _) -> ()
+      | Error e -> Alcotest.failf "%s: wrong error %s" line (G.Error.to_string e)
+      | Ok _ -> Alcotest.failf "accepted: %s" line)
+    [ "not json";
+      {|{"expr":"x1"}|};
+      {|{"kind":"frobnicate"}|};
+      {|{"kind":"synth"}|};
+      {|{"kind":"synth","expr":"x1","bogus":1}|};
+      {|{"kind":"bism","n":24,"k":10,"scheme":"psychic"}|};
+      {|{"kind":"bist","rows":0,"cols":4}|};
+      {|{"kind":"yield","n":16,"density":1.5}|} ]
+
+(* ---------------- engine ------------------------------------------- *)
+
+let synth_job expr =
+  { Svc.Job.id = None; budget_steps = None; spec = Svc.Job.Synth { expr } }
+
+let envelope_strings outcomes =
+  List.map (fun (o : Svc.Engine.outcome) -> J.to_string o.envelope) outcomes
+
+(* a cache hit under a permuted/negated spelling must return a verified
+   cover of the requested function with the class's product count *)
+let test_engine_npn_hit () =
+  let cache = Svc.Cache.create () in
+  let run expr = Svc.Engine.run_jobs ~cache [ synth_job expr ] in
+  let first = run "x1x2 + x2x3 + x1'x3'" in
+  let h0 = Svc.Cache.hits cache in
+  let second = run "x2x3 + x3x1 + x2'x1'" in
+  Alcotest.(check int) "variant hits the class entry" (h0 + 1)
+    (Svc.Cache.hits cache);
+  let field name o =
+    match o with
+    | { Svc.Engine.envelope = J.Obj kvs; _ } -> (
+        match List.assoc "result" kvs with
+        | J.Obj r -> List.assoc name r
+        | _ -> Alcotest.fail "no result object")
+    | _ -> Alcotest.fail "envelope not an object"
+  in
+  Alcotest.(check bool)
+    "hit re-verified against its own function" true
+    (field "verified" (List.hd second) = J.Bool true);
+  Alcotest.(check bool)
+    "NP transforms preserve cover size" true
+    (field "products" (List.hd first) = field "products" (List.hd second));
+  (* and the returned cover is of the *variant*, not the base *)
+  (match field "cover" (List.hd second) with
+  | J.Str s ->
+      let got = Parse.expr ~n:3 s in
+      Alcotest.(check bool)
+        "cover computes the requested function" true
+        (Boolfunc.equal got (Parse.expr "x2x3 + x3x1 + x2'x1'"))
+  | _ -> Alcotest.fail "cover not a string")
+
+let qcheck_engine_npn_equiv =
+  (* random 3-var function, random transform: the transformed spelling
+     resolves from the base's cache entry to an equivalent cover *)
+  (* output negation is deliberately excluded: the complement lives in
+     the other phase slot of the same class (see Engine), so only NP
+     variants — permuted/negated *inputs* — are guaranteed hits *)
+  Testutil.qtest ~count:25 "engine: NP variants hit and stay equivalent"
+    (QCheck.pair (Testutil.arb_table 3)
+       (QCheck.make QCheck.Gen.(pair (int_bound 5) (int_bound 7))))
+    (fun (f, (pi, mask)) ->
+      (* full support: Parse.expr infers arity from the highest variable
+         mentioned, so a vanishing x3 would change the parsed arity *)
+      QCheck.assume (Tt.support f = [ 0; 1; 2 ]);
+      let t =
+        { Npn.perm = List.nth (permutations 3) pi;
+          input_neg = Array.init 3 (fun v -> (mask lsr v) land 1 = 1);
+          output_neg = false }
+      in
+      let g = Npn.apply t f in
+      let expr tt = Cover.to_string (Minimize.sop_table tt) in
+      let cache = Svc.Cache.create () in
+      let run e = List.hd (Svc.Engine.run_jobs ~cache [ synth_job e ]) in
+      ignore (run (expr f));
+      let h0 = Svc.Cache.hits cache in
+      let out = run (expr g) in
+      let cover =
+        match out.Svc.Engine.envelope with
+        | J.Obj kvs -> (
+            match List.assoc "result" kvs with
+            | J.Obj r -> (
+                match List.assoc "cover" r with
+                | J.Str s -> s
+                | _ -> QCheck.Test.fail_report "cover not a string")
+            | _ -> QCheck.Test.fail_report "no result")
+        | _ -> QCheck.Test.fail_report "no envelope"
+      in
+      Svc.Cache.hits cache = h0 + 1
+      && out.exit_code = 0
+      && Tt.equal (Boolfunc.table (Parse.expr ~n:3 cover)) g)
+
+let test_engine_determinism () =
+  let lines =
+    [ {|{"id":"a","kind":"synth","expr":"x1x2 + x1'x2'"}|};
+      {|{"id":"b","kind":"synth","expr":"x1'x2 + x1x2'"}|};
+      {|{"id":"c","kind":"bist","rows":4,"cols":4}|};
+      {|{"id":"d","kind":"yield","n":12,"density":0.05,"seed":1,"trials":5}|};
+      "boom" ]
+  in
+  let seq = envelope_strings (Svc.Engine.run_lines lines) in
+  let par =
+    Nxc_par.Pool.with_jobs 2 (fun pool ->
+        envelope_strings (Svc.Engine.run_lines ?pool lines))
+  in
+  Alcotest.(check (list string)) "pool never changes envelopes" seq par;
+  (* warm cache: identical bytes again *)
+  let cache = Svc.Cache.create () in
+  let cold = envelope_strings (Svc.Engine.run_lines ~cache lines) in
+  let warm = envelope_strings (Svc.Engine.run_lines ~cache lines) in
+  Alcotest.(check (list string)) "warm = cold" cold warm;
+  Alcotest.(check (list string)) "cache never changes envelopes" seq cold;
+  Alcotest.(check int) "bad line exits 3" 3
+    (Svc.Engine.batch_exit (Svc.Engine.run_lines lines))
+
+let () =
+  Alcotest.run "service"
+    [ ( "npn",
+        [ Alcotest.test_case "identity" `Quick test_npn_identity;
+          Alcotest.test_case "num_transforms" `Quick test_npn_num_transforms;
+          Testutil.qtest ~count:60 "all transforms share one key (n<=3)"
+            (Testutil.arb_table_sized 3)
+            (fun f -> npn_class_key_prop (Tt.n_vars f) f);
+          Alcotest.test_case "all 768 transforms n=4" `Quick test_npn_class_n4;
+          Alcotest.test_case "canonical witness" `Quick
+            test_npn_canonical_transform;
+          Alcotest.test_case "semi-canonical above limit" `Quick
+            test_npn_semi_above_limit ] );
+      ( "covers",
+        [ Testutil.qtest ~count:100 "cover_to_canon semantics"
+            (arb_cover_transform 3) cover_semantics_prop;
+          Testutil.qtest ~count:100 "cover roundtrip" (arb_cover_transform 4)
+            cover_roundtrip_prop ] );
+      ( "cache",
+        [ Alcotest.test_case "lru eviction and counters" `Quick test_cache_lru;
+          Alcotest.test_case "save/load" `Quick test_cache_save_load ] );
+      ( "job",
+        [ Alcotest.test_case "valid specs" `Quick test_job_parse_ok;
+          Alcotest.test_case "malformed specs" `Quick test_job_parse_bad ] );
+      ( "engine",
+        [ Alcotest.test_case "npn cache hit" `Quick test_engine_npn_hit;
+          qcheck_engine_npn_equiv;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism ] ) ]
