@@ -1,4 +1,4 @@
-.PHONY: build test check doc bench smoke chaos clean
+.PHONY: build test check doc bench bench-smoke smoke chaos clean
 
 build:
 	dune build @all
@@ -16,11 +16,13 @@ doc:
 	fi
 
 # the tier-1 gate: everything compiles (including examples and bench),
-# every test — unit, property, cram, bench smoke — passes, and the
-# odoc pages build when odoc is available
+# every test — unit, property, cram, bench smoke — passes, the kernel
+# determinism/speedup gates hold, and the odoc pages build when odoc is
+# available
 check:
 	dune build @all
 	dune runtest
+	$(MAKE) bench-smoke
 	$(MAKE) doc
 
 # extended chaos sweep: the dune test runs ~250 adversarial cases,
@@ -32,6 +34,13 @@ chaos:
 bench:
 	dune exec bench/main.exe
 
+# small-N perf-regression pass: run the kernel experiments with the
+# determinism headline flags and gate on them (identical:true must hold
+# and the bit-sliced kernel must keep its >= 4x margin over the BFS)
+bench-smoke:
+	BENCH_OUT=bench_smoke.json dune exec bench/main.exe -- BITSLICE PAR
+	dune exec tools/bench_check.exe -- bench_smoke.json
+
 # quick end-to-end exercise of the observability surface
 smoke:
 	dune exec bench/main.exe -- E1
@@ -41,4 +50,4 @@ smoke:
 
 clean:
 	dune clean
-	rm -f trace.json .nxc-cache results.jsonl
+	rm -f trace.json .nxc-cache results.jsonl bench_smoke.json

@@ -3,25 +3,25 @@ module Obs = Nxc_obs
 
 let m_checks = Obs.Metrics.counter "lattice.equiv_checks"
 
+(* One kernel scratch per domain: Pool workers each get their own, so
+   seeded parallel runs stay race-free and bit-identical. *)
+let scratch_key = Domain.DLS.new_key Lattice.scratch
+
 let counterexample lattice f =
   Obs.Metrics.incr m_checks;
   let n = L.Boolfunc.n_vars f in
   if Lattice.n_vars lattice < n then Some 0
   else
-    let rec go m =
-      if m >= 1 lsl n then None
-      else if Lattice.eval_int lattice m <> L.Boolfunc.eval_int f m then Some m
-      else go (m + 1)
-    in
-    go 0
+    let scratch = Domain.DLS.get scratch_key in
+    L.Truth_table.first_diff
+      (Lattice.eval_all ~scratch ~n_vars:n lattice)
+      (L.Boolfunc.table f)
 
 let equivalent lattice f = counterexample lattice f = None
 
 let computes_dual_lr lattice f =
-  let d = L.Boolfunc.dual f in
   let n = L.Boolfunc.n_vars f in
-  let rec go m =
-    m >= 1 lsl n
-    || (Lattice.eval_lr lattice m = L.Boolfunc.eval_int d m && go (m + 1))
-  in
-  go 0
+  let scratch = Domain.DLS.get scratch_key in
+  L.Truth_table.equal
+    (Lattice.eval_all_lr ~scratch ~n_vars:n lattice)
+    (L.Truth_table.dual (L.Boolfunc.table f))

@@ -52,6 +52,42 @@ val eval_lr : t -> int -> bool
 
 val to_function : ?name:string -> t -> Nxc_logic.Boolfunc.t
 
+(** {1 Bit-sliced evaluation}
+
+    The word-parallel kernel evaluates the lattice on {e all} [2{^n}]
+    assignments at once: each site carries a conduction vector with one
+    bit per assignment, and top-to-bottom connectivity is computed for
+    every assignment simultaneously by word-parallel frontier relaxation
+    to fixpoint.  One call replaces [2{^n}] scalar {!eval_int} BFS runs.
+
+    Work counters are published as [bitslice.kernel_calls] and
+    [bitslice.word_ops] in [Nxc_obs.Metrics]. *)
+
+type scratch
+(** Reusable kernel buffers (variable patterns, conduction/reach grids,
+    output words).  A scratch may be reused across calls with any
+    lattice shapes and arities — buffers grow on demand and results are
+    independent of prior contents — but it must not be shared between
+    domains; keep one per domain (e.g. via [Domain.DLS]) in parallel
+    code. *)
+
+val scratch : unit -> scratch
+(** A fresh scratch.  Hot loops (equivalence checking, Monte-Carlo
+    trials, [Optimal.search]) should allocate one and thread it through
+    every call; one-shot callers can omit the argument. *)
+
+val eval_all : ?scratch:scratch -> ?n_vars:int -> t -> Nxc_logic.Truth_table.t
+(** [eval_all ?scratch ?n_vars l] is the truth table of top-to-bottom
+    connectivity over all assignments of [n_vars] variables (default:
+    the lattice's own arity).  Variables with index [>= n_vars] read as
+    0, matching what {!eval_int} does on minterms below [2{^n_vars}];
+    [n_vars] above the lattice arity is also allowed.  Bit-identical to
+    tabulating {!eval_int}. *)
+
+val eval_all_lr : ?scratch:scratch -> ?n_vars:int -> t -> Nxc_logic.Truth_table.t
+(** Same for left-to-right connectivity (the dual function on
+    Altun–Riedel lattices); equivalent to [eval_all] of {!transpose}. *)
+
 val conducting_sites : t -> int -> (int * int) list
 (** Sites that conduct under an assignment (row, col). *)
 

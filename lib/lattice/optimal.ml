@@ -38,9 +38,16 @@ let search ?pool ?(max_area = 9) ?(budget = 5_000_000) ?(allow_constants = true)
   let try_dims ~guard ~cap (r, c) =
     let cells = r * c in
     let digits = Array.make cells 0 in
+    (* one grid buffer per dimension pair, refilled in place for every
+       candidate; [Lattice.make] takes its own defensive copy *)
+    let buf = Array.init r (fun _ -> Array.make c Lattice.Zero) in
     let grid () =
-      Array.init r (fun i ->
-          Array.init c (fun j -> alphabet.(digits.((i * c) + j))))
+      for i = 0 to r - 1 do
+        for j = 0 to c - 1 do
+          buf.(i).(j) <- alphabet.(digits.((i * c) + j))
+        done
+      done;
+      buf
     in
     let rec bump i =
       if i < 0 then false

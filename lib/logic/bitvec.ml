@@ -1,10 +1,29 @@
-type t = { len : int; data : Bytes.t }
+(* Packed bit vectors on native-int words.  Layout and the normalization
+   invariant (tail bits above [len] kept zero) come from Bitslice. *)
 
-let bytes_needed len = (len + 7) / 8
+type t = { len : int; words : int array }
+
+let word_bits = Bitslice.word_bits
+
+let num_words v = Array.length v.words
+
+let get_word v i = v.words.(i)
+
+let normalize v =
+  let nw = Array.length v.words in
+  if nw > 0 then
+    v.words.(nw - 1) <- v.words.(nw - 1) land Bitslice.tail_mask v.len;
+  v
 
 let create len init =
   if len < 0 then invalid_arg "Bitvec.create";
-  { len; data = Bytes.make (bytes_needed len) (if init then '\xff' else '\x00') }
+  normalize
+    { len; words = Array.make (Bitslice.words_for len) (if init then -1 else 0) }
+
+let of_words len ws =
+  if len < 0 || Array.length ws <> Bitslice.words_for len then
+    invalid_arg "Bitvec.of_words";
+  normalize { len; words = Array.copy ws }
 
 let length v = v.len
 
@@ -13,92 +32,126 @@ let check v i =
 
 let get v i =
   check v i;
-  Char.code (Bytes.unsafe_get v.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  (Array.unsafe_get v.words (i / word_bits) lsr (i mod word_bits)) land 1 <> 0
 
 let set v i b =
   check v i;
-  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
-  let old = Char.code (Bytes.unsafe_get v.data byte) in
-  let updated = if b then old lor bit else old land lnot bit in
-  Bytes.unsafe_set v.data byte (Char.unsafe_chr (updated land 0xff))
+  let w = i / word_bits and bit = 1 lsl (i mod word_bits) in
+  let old = Array.unsafe_get v.words w in
+  Array.unsafe_set v.words w (if b then old lor bit else old land lnot bit)
 
-let copy v = { v with data = Bytes.copy v.data }
+let copy v = { v with words = Array.copy v.words }
 
-(* Bits past [len] in the last byte are kept normalized to zero so that
-   byte-level comparison and popcount are exact. *)
-let normalize v =
-  let rem = v.len land 7 in
-  if rem <> 0 && v.len > 0 then begin
-    let last = bytes_needed v.len - 1 in
-    let m = (1 lsl rem) - 1 in
-    Bytes.set v.data last
-      (Char.chr (Char.code (Bytes.get v.data last) land m))
-  end;
-  v
-
-let create len init = normalize (create len init)
-
-let equal a b = a.len = b.len && Bytes.equal a.data b.data
-
-let popcount_byte =
-  let tbl = Array.make 256 0 in
-  for i = 1 to 255 do
-    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
-  done;
-  fun c -> tbl.(Char.code c)
+let equal a b =
+  a.len = b.len
+  &&
+  let rec eq i = i < 0 || (a.words.(i) = b.words.(i) && eq (i - 1)) in
+  eq (Array.length a.words - 1)
 
 let popcount v =
   let acc = ref 0 in
-  Bytes.iter (fun c -> acc := !acc + popcount_byte c) v.data;
+  for i = 0 to Array.length v.words - 1 do
+    acc := !acc + Bitslice.popcount (Array.unsafe_get v.words i)
+  done;
   !acc
 
 let is_all b v = popcount v = if b then v.len else 0
 
 let init len f =
   let v = create len false in
-  for i = 0 to len - 1 do
-    if f i then set v i true
+  let nw = Array.length v.words in
+  for w = 0 to nw - 1 do
+    let base = w * word_bits in
+    let hi = min word_bits (len - base) in
+    let word = ref 0 in
+    for b = 0 to hi - 1 do
+      if f (base + b) then word := !word lor (1 lsl b)
+    done;
+    v.words.(w) <- !word
   done;
   v
 
 let iteri f v =
-  for i = 0 to v.len - 1 do
-    f i (get v i)
+  for w = 0 to Array.length v.words - 1 do
+    let base = w * word_bits in
+    let hi = min word_bits (v.len - base) in
+    let word = v.words.(w) in
+    for b = 0 to hi - 1 do
+      f (base + b) ((word lsr b) land 1 <> 0)
+    done
   done
 
+(* Visit set bits only: peel each word's lowest set bit until empty, so
+   sparse vectors cost O(words + set bits) rather than O(len). *)
 let fold_true f v acc =
   let acc = ref acc in
-  for i = 0 to v.len - 1 do
-    if get v i then acc := f i !acc
+  for w = 0 to Array.length v.words - 1 do
+    let word = ref v.words.(w) in
+    let base = w * word_bits in
+    while !word <> 0 do
+      let low = !word land - !word in
+      acc := f (base + Bitslice.popcount (low - 1)) !acc;
+      word := !word lxor low
+    done
   done;
   !acc
 
+let first_set v =
+  let rec go w =
+    if w >= Array.length v.words then None
+    else if v.words.(w) = 0 then go (w + 1)
+    else Some ((w * word_bits) + Bitslice.lowest_set v.words.(w))
+  in
+  go 0
+
+let first_diff a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch";
+  let rec go w =
+    if w >= Array.length a.words then None
+    else
+      let d = a.words.(w) lxor b.words.(w) in
+      if d = 0 then go (w + 1)
+      else Some ((w * word_bits) + Bitslice.lowest_set d)
+  in
+  go 0
+
+(* Word-parallel [map2]: sample [f] on the four bool pairs once, then
+   combine whole words with the resulting two-variable truth table. *)
 let map2 f a b =
   if a.len <> b.len then invalid_arg "Bitvec.map2: length mismatch";
-  init a.len (fun i -> f (get a i) (get b i))
-
-let byte_op f a b =
-  if a.len <> b.len then invalid_arg "Bitvec: length mismatch";
-  let n = Bytes.length a.data in
-  let data = Bytes.create n in
+  let n = Array.length a.words in
+  let words = Array.make n 0 in
+  let ff = f false false
+  and ft = f false true
+  and tf = f true false
+  and tt = f true true in
   for i = 0 to n - 1 do
-    Bytes.unsafe_set data i
-      (Char.unsafe_chr
-         (f (Char.code (Bytes.unsafe_get a.data i))
-            (Char.code (Bytes.unsafe_get b.data i))
-          land 0xff))
+    let x = Array.unsafe_get a.words i and y = Array.unsafe_get b.words i in
+    let w = ref 0 in
+    if ff then w := !w lor (lnot x land lnot y);
+    if ft then w := !w lor (lnot x land y);
+    if tf then w := !w lor (x land lnot y);
+    if tt then w := !w lor (x land y);
+    Array.unsafe_set words i !w
   done;
-  normalize { len = a.len; data }
+  normalize { len = a.len; words }
+
+let word_op f a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch";
+  let n = Array.length a.words in
+  let words = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set words i
+      (f (Array.unsafe_get a.words i) (Array.unsafe_get b.words i))
+  done;
+  normalize { len = a.len; words }
 
 let lnot v =
-  let data = Bytes.map (fun c -> Char.chr (Char.code c lxor 0xff)) v.data in
-  normalize { len = v.len; data }
+  normalize { len = v.len; words = Array.map Stdlib.lnot v.words }
 
-let land_ = byte_op ( land )
-let lor_ = byte_op ( lor )
-let lxor_ = byte_op ( lxor )
+let land_ = word_op ( land )
+let lor_ = word_op ( lor )
+let lxor_ = word_op ( lxor )
 
 let pp ppf v =
-  for i = 0 to v.len - 1 do
-    Format.pp_print_char ppf (if get v i then '1' else '0')
-  done
+  iteri (fun _ b -> Format.pp_print_char ppf (if b then '1' else '0')) v

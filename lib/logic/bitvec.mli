@@ -45,3 +45,31 @@ val lxor_ : t -> t -> t
 
 val pp : Format.formatter -> t -> unit
 (** Bits as a ['0'/'1'] string, index 0 leftmost. *)
+
+(** {1 Word-level access}
+
+    Bits are packed into native ints as described in {!Bitslice}:
+    bit [i] lives in word [i / word_bits] at offset [i mod word_bits],
+    with unused tail bits kept zero.  These entry points let evaluation
+    kernels produce or consume whole words without per-bit traffic. *)
+
+val word_bits : int
+(** Bits per word ([Bitslice.word_bits]). *)
+
+val num_words : t -> int
+
+val get_word : t -> int -> int
+(** [get_word v w] is the [w]-th backing word.  No bounds check beyond
+    the array's own. *)
+
+val of_words : int -> int array -> t
+(** [of_words len ws] builds a [len]-bit vector from a word array of
+    exactly [Bitslice.words_for len] entries (copied, then tail
+    normalized).  @raise Invalid_argument on a size mismatch. *)
+
+val first_set : t -> int option
+(** Index of the lowest set bit, if any. *)
+
+val first_diff : t -> t -> int option
+(** Index of the lowest bit where the two vectors differ; [None] when
+    equal.  The vectors must have equal length. *)

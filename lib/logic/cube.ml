@@ -45,11 +45,11 @@ let literals c =
   in
   go (c.n - 1) []
 
-let popcount =
-  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
-  go 0
+let popcount = Bitslice.popcount
 
 let num_literals c = popcount c.mask
+
+let num_positive c = popcount c.bits
 
 let is_top c = c.mask = 0
 

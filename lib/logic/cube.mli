@@ -40,6 +40,11 @@ val polarity_of : t -> int -> polarity option
 
 val num_literals : t -> int
 
+val num_positive : t -> int
+(** Number of variables constrained to [Pos].  Two mergeable cubes
+    ({!merge}) always sit on adjacent positive counts, which is what
+    lets Quine–McCluskey bucket implicants by this value. *)
+
 val is_top : t -> bool
 
 val eval : t -> bool array -> bool

@@ -22,18 +22,29 @@ let primes_guarded guard ~n ~on ~dc =
     let merged_flag = Hashtbl.create 64 in
     let next = Hashtbl.create 64 in
     let arr = Array.of_list !current in
-    let k = Array.length arr in
-    (* bucket by popcount of positive bits to limit the pair scan *)
-    for i = 0 to k - 1 do
-      for j = i + 1 to k - 1 do
-        if not (Guard.Budget.step guard) then raise Guard_exhausted;
-        match Cube.merge arr.(i) arr.(j) with
-        | Some m ->
-            Hashtbl.replace next m ();
-            Hashtbl.replace merged_flag (Cube.hash arr.(i), arr.(i)) ();
-            Hashtbl.replace merged_flag (Cube.hash arr.(j), arr.(j)) ()
-        | None -> ()
-      done
+    (* bucket by popcount of positive bits to limit the pair scan: a
+       merge needs equal masks and exactly one flipped polarity, so
+       mergeable cubes always sit on adjacent positive counts p, p+1 *)
+    let buckets = Array.make (n + 2) [] in
+    Array.iter
+      (fun c ->
+        let p = Cube.num_positive c in
+        buckets.(p) <- c :: buckets.(p))
+      arr;
+    for p = 0 to n - 1 do
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if not (Guard.Budget.step guard) then raise Guard_exhausted;
+              match Cube.merge a b with
+              | Some m ->
+                  Hashtbl.replace next m ();
+                  Hashtbl.replace merged_flag (Cube.hash a, a) ();
+                  Hashtbl.replace merged_flag (Cube.hash b, b) ()
+              | None -> ())
+            buckets.(p + 1))
+        buckets.(p)
     done;
     Array.iter
       (fun c ->

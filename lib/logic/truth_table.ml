@@ -17,6 +17,11 @@ let of_fun_int n f =
   check_n n;
   { n; bits = Bitvec.init (1 lsl n) f }
 
+let of_bitvec n bits =
+  check_n n;
+  if Bitvec.length bits <> 1 lsl n then invalid_arg "Truth_table.of_bitvec";
+  { n; bits = Bitvec.copy bits }
+
 let of_fun n f =
   check_n n;
   let x = Array.make (max n 1) false in
@@ -49,6 +54,10 @@ let eval f x =
   eval_int f (!m land (size f - 1))
 
 let equal a b = a.n = b.n && Bitvec.equal a.bits b.bits
+
+let first_diff a b =
+  if a.n <> b.n then invalid_arg "Truth_table: arity mismatch";
+  Bitvec.first_diff a.bits b.bits
 
 let compare a b =
   let c = Stdlib.compare a.n b.n in

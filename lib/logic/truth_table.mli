@@ -22,6 +22,12 @@ val of_fun : int -> (bool array -> bool) -> t
 val of_fun_int : int -> (int -> bool) -> t
 (** [of_fun_int n f] tabulates [f] over minterm encodings. *)
 
+val of_bitvec : int -> Bitvec.t -> t
+(** [of_bitvec n bits] adopts a [2{^n}]-bit vector (copied) as a table;
+    the natural exit of the bit-sliced evaluation kernels, which produce
+    whole assignment-indexed vectors at once.
+    @raise Invalid_argument when the length is not [2{^n}]. *)
+
 val of_cover : Cover.t -> t
 
 val of_minterms : int -> int list -> t
@@ -34,6 +40,10 @@ val eval : t -> bool array -> bool
 val eval_int : t -> int -> bool
 
 val equal : t -> t -> bool
+
+val first_diff : t -> t -> int option
+(** Smallest minterm on which the two tables disagree, [None] when
+    equal.  Word-level scan; the counterexample probe of [Checker]. *)
 
 val compare : t -> t -> int
 

@@ -30,6 +30,14 @@
     on scheduling: under budget pressure, parallel and sequential runs
     may degrade at different points.
 
+    {b Domain-local scratch.}  Task functions that lean on reusable
+    kernel scratch (e.g. [Nxc_lattice.Lattice.scratch]) must not share
+    one buffer across the batch — chunks run on different domains.
+    Keep one scratch per domain via [Domain.DLS] (the pattern
+    [Nxc_lattice.Checker] and [Nxc_reliability.Fault_model] use), or
+    allocate it inside the task.  Scratch never affects results, so
+    this is purely an allocation concern, not a determinism one.
+
     A pool whose worker count is [0] still runs every batch on the
     calling domain (the main domain always participates as a runner
     slot), so the same code path is exercised on single-core hosts. *)

@@ -15,10 +15,14 @@ let greedy_max chip =
   let n_r = Defect.rows chip and n_c = Defect.cols chip in
   let keep_r = Array.make n_r true and keep_c = Array.make n_c true in
   let alive_r = ref n_r and alive_c = ref n_c in
+  (* count buffers hoisted out of the deletion loop: [defects_left] runs
+     once per deleted line, every iteration of the yield Monte-Carlo *)
+  let row_cnt = Array.make n_r 0 and col_cnt = Array.make n_c 0 in
   let defects_left () =
     let worst_r = ref (-1) and worst_rc = ref 0 in
     let worst_c = ref (-1) and worst_cc = ref 0 in
-    let row_cnt = Array.make n_r 0 and col_cnt = Array.make n_c 0 in
+    Array.fill row_cnt 0 n_r 0;
+    Array.fill col_cnt 0 n_c 0;
     let any = ref false in
     for r = 0 to n_r - 1 do
       if keep_r.(r) then

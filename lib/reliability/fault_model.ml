@@ -49,12 +49,27 @@ let universe ~rows ~cols =
 
 let num_faults ~rows ~cols = List.length (universe ~rows ~cols)
 
+(* Per-domain line-value scratch: [eval_multi] is the innermost loop of
+   every BIST/BISD/yield Monte-Carlo trial, so the column/row arrays are
+   reused across calls instead of allocated per evaluation.  All loops
+   below are bounded by [cfg.rows]/[cfg.cols], so oversized buffers are
+   harmless. *)
+type scratch = { mutable col : bool array; mutable row : bool array }
+
+let scratch_key = Domain.DLS.new_key (fun () -> { col = [||]; row = [||] })
+
+let ensure_bools a n = if Array.length a >= n then a else Array.make n false
+
 let eval_multi ~faults cfg vector =
   if Array.length vector <> cfg.cols then
     invalid_arg "Fault_model.eval: vector length";
+  let s = Domain.DLS.get scratch_key in
+  s.col <- ensure_bools s.col cfg.cols;
+  s.row <- ensure_bools s.row cfg.rows;
   (* column line values: bridges first (wired-AND of the healthy
      values), then stuck lines override *)
-  let col_val = Array.copy vector in
+  let col_val = s.col in
+  Array.blit vector 0 col_val 0 cfg.cols;
   List.iter
     (fun fault ->
       match fault with
@@ -84,14 +99,14 @@ let eval_multi ~faults cfg vector =
     else forced_closed || cfg.programmed.(r).(c)
   in
   (* row line values: wired-AND over devices; empty row pulls up to 1 *)
-  let row_val =
-    Array.init cfg.rows (fun r ->
-        let value = ref true in
-        for c = 0 to cfg.cols - 1 do
-          if has_device r c && not col_val.(c) then value := false
-        done;
-        !value)
-  in
+  let row_val = s.row in
+  for r = 0 to cfg.rows - 1 do
+    let value = ref true in
+    for c = 0 to cfg.cols - 1 do
+      if has_device r c && not col_val.(c) then value := false
+    done;
+    row_val.(r) <- !value
+  done;
   List.iter
     (fun fault ->
       match fault with

@@ -1,0 +1,238 @@
+(* Equivalence suites for the word-parallel evaluation kernels:
+   Bitslice/Bitvec word primitives against their naive per-bit
+   definitions, the bucketed QM prime scan against the historical full
+   pair scan, and the bit-sliced lattice kernel against the scalar
+   BFS. *)
+
+module Bitslice = Nxc_logic.Bitslice
+module Bitvec = Nxc_logic.Bitvec
+module Cube = Nxc_logic.Cube
+module Qm = Nxc_logic.Qm
+module Tt = Nxc_logic.Truth_table
+module Lattice = Nxc_lattice.Lattice
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qtest = Testutil.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Word popcount                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let naive_popcount x =
+  let c = ref 0 in
+  for i = 0 to Sys.int_size - 1 do
+    if (x lsr i) land 1 = 1 then incr c
+  done;
+  !c
+
+let popcount_tests =
+  [ Alcotest.test_case "corner words" `Quick (fun () ->
+        List.iter
+          (fun x -> check_int (string_of_int x) (naive_popcount x)
+              (Bitslice.popcount x))
+          [ 0; 1; -1; 2; min_int; max_int; 0x55555555; -0x55555556 ]);
+    qtest "popcount agrees with naive" QCheck.int (fun x ->
+        Bitslice.popcount x = naive_popcount x);
+    qtest "lowest_set agrees with naive" QCheck.int (fun x ->
+        QCheck.assume (x <> 0);
+        let rec go i = if (x lsr i) land 1 = 1 then i else go (i + 1) in
+        Bitslice.lowest_set x = go 0);
+    qtest "cube popcounts" (Testutil.arb_cube 6) (fun c ->
+        Cube.num_positive c <= Cube.num_literals c
+        && Cube.num_literals c = List.length (Cube.literals c)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec word-level API                                               *)
+(* ------------------------------------------------------------------ *)
+
+let arb_bits n =
+  QCheck.make
+    ~print:(fun l -> String.concat "" (List.map (fun b -> if b then "1" else "0") l))
+    QCheck.Gen.(list_size (int_range 0 n) bool)
+
+let of_bools l =
+  let v = Bitvec.create (List.length l) false in
+  List.iteri (fun i b -> Bitvec.set v i b) l;
+  v
+
+let bitvec_tests =
+  [ qtest "of_words/get_word roundtrip" (arb_bits 200) (fun l ->
+        let v = of_bools l in
+        let ws = Array.init (Bitvec.num_words v) (Bitvec.get_word v) in
+        Bitvec.equal v (Bitvec.of_words (Bitvec.length v) ws));
+    qtest "first_set is the least set index" (arb_bits 200) (fun l ->
+        let v = of_bools l in
+        Bitvec.first_set v = List.find_index (fun b -> b) l);
+    qtest "first_diff is the least disagreement" (arb_bits 200) (fun l ->
+        let v = of_bools l in
+        let w = Bitvec.copy v in
+        (match Bitvec.first_diff v w with None -> () | Some _ -> assert false);
+        if Bitvec.length v = 0 then true
+        else begin
+          let i = Bitvec.length v / 2 in
+          Bitvec.set w i (not (Bitvec.get w i));
+          Bitvec.first_diff v w = Some i
+        end);
+    qtest "popcount counts set bits" (arb_bits 200) (fun l ->
+        Bitvec.popcount (of_bools l)
+        = List.length (List.filter (fun b -> b) l)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bucketed QM prime scan vs the historical full pair scan             *)
+(* ------------------------------------------------------------------ *)
+
+(* the pre-bucketing reference: merge every i < j pair per round *)
+let primes_reference ~n ~on ~dc =
+  let care = List.sort_uniq compare (on @ dc) in
+  let current = ref (List.map (Cube.of_minterm n) care) in
+  let prime_acc = ref [] in
+  while !current <> [] do
+    let merged = Hashtbl.create 64 in
+    let next = Hashtbl.create 64 in
+    let arr = Array.of_list !current in
+    let k = Array.length arr in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        match Cube.merge arr.(i) arr.(j) with
+        | Some m ->
+            Hashtbl.replace next m ();
+            Hashtbl.replace merged (Cube.hash arr.(i), arr.(i)) ();
+            Hashtbl.replace merged (Cube.hash arr.(j), arr.(j)) ()
+        | None -> ()
+      done
+    done;
+    Array.iter
+      (fun c ->
+        if not (Hashtbl.mem merged (Cube.hash c, c)) then
+          prime_acc := c :: !prime_acc)
+      arr;
+    current := Hashtbl.fold (fun c () acc -> c :: acc) next []
+  done;
+  List.sort_uniq Cube.compare !prime_acc
+
+let arb_minterm_sets n =
+  QCheck.make
+    ~print:(fun (on, dc) ->
+      Printf.sprintf "on=[%s] dc=[%s]"
+        (String.concat ";" (List.map string_of_int on))
+        (String.concat ";" (List.map string_of_int dc)))
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 (1 lsl n)) (int_range 0 ((1 lsl n) - 1)))
+        (list_size (int_range 0 4) (int_range 0 ((1 lsl n) - 1))))
+
+let qm_tests =
+  [ qtest "bucketed primes = full-scan primes (n=4)" (arb_minterm_sets 4)
+      (fun (on, dc) ->
+        let dc = List.filter (fun m -> not (List.mem m on)) dc in
+        List.equal Cube.equal
+          (Qm.primes ~n:4 ~on ~dc)
+          (primes_reference ~n:4 ~on ~dc));
+    qtest ~count:100 "bucketed primes = full-scan primes (n=5)"
+      (arb_minterm_sets 5) (fun (on, dc) ->
+        let dc = List.filter (fun m -> not (List.mem m on)) dc in
+        List.equal Cube.equal
+          (Qm.primes ~n:5 ~on ~dc)
+          (primes_reference ~n:5 ~on ~dc)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bit-sliced lattice kernel vs scalar BFS                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_site n =
+  QCheck.Gen.(
+    frequency
+      [ (1, return Lattice.Zero);
+        (1, return Lattice.One);
+        (4,
+         map2
+           (fun v b -> Lattice.Lit (v, if b then Cube.Pos else Cube.Neg))
+           (int_range 0 (n - 1)) bool) ])
+
+let gen_lattice =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun n ->
+    int_range 1 5 >>= fun rows ->
+    int_range 1 5 >>= fun cols ->
+    map
+      (fun sites -> Lattice.make ~n_vars:n sites)
+      (array_size (return rows) (array_size (return cols) (gen_site n))))
+
+let arb_lattice = QCheck.make ~print:Lattice.to_string gen_lattice
+
+let table_of_scalar n eval = Tt.of_fun_int n eval
+
+let kernel_tests =
+  [ qtest "eval_all = tabulated scalar BFS" arb_lattice (fun l ->
+        let n = Lattice.n_vars l in
+        Tt.equal (Lattice.eval_all l) (table_of_scalar n (Lattice.eval_int l)));
+    qtest "eval_all_lr = tabulated scalar eval_lr" arb_lattice (fun l ->
+        let n = Lattice.n_vars l in
+        Tt.equal (Lattice.eval_all_lr l)
+          (table_of_scalar n (Lattice.eval_lr l)));
+    qtest "restricted n_vars matches low minterms" arb_lattice (fun l ->
+        let n = Lattice.n_vars l in
+        let k = max 0 (n - 2) in
+        Tt.equal
+          (Lattice.eval_all ~n_vars:k l)
+          (table_of_scalar k (Lattice.eval_int l)));
+    qtest "widened n_vars ignores extra variables" arb_lattice (fun l ->
+        let n = Lattice.n_vars l in
+        let wide = Lattice.eval_all ~n_vars:(n + 2) l in
+        let narrow = Lattice.eval_all l in
+        Testutil.same_function (n + 2)
+          (Tt.eval_int wide)
+          (fun m -> Tt.eval_int narrow (m land ((1 lsl n) - 1))));
+    qtest "shared scratch is stateless across shapes" arb_lattice (fun l ->
+        let scratch = Lattice.scratch () in
+        (* interleave a differently-shaped call to dirty the buffers *)
+        let other =
+          Lattice.make ~n_vars:1 [| [| Lattice.One; Lattice.Zero |] |]
+        in
+        let first = Lattice.eval_all ~scratch l in
+        ignore (Lattice.eval_all ~scratch other);
+        ignore (Lattice.eval_all ~scratch ~n_vars:2 other);
+        Tt.equal first (Lattice.eval_all ~scratch l)) ]
+
+let lit v = Lattice.Lit (v, Cube.Pos)
+
+let kernel_unit_tests =
+  [ Alcotest.test_case "degenerate shapes" `Quick (fun () ->
+        let row = Lattice.make ~n_vars:3 [| [| lit 0; lit 1; lit 2 |] |] in
+        let col =
+          Lattice.make ~n_vars:3 [| [| lit 0 |]; [| lit 1 |]; [| lit 2 |] |]
+        in
+        (* 1xk: any conducting site bridges top to bottom (OR);
+           kx1: the whole column must conduct (AND) *)
+        check "1xk is OR" true
+          (Tt.equal (Lattice.eval_all row)
+             (Tt.of_fun_int 3 (fun m -> m <> 0)));
+        check "kx1 is AND" true
+          (Tt.equal (Lattice.eval_all col)
+             (Tt.of_fun_int 3 (fun m -> m = 7))));
+    Alcotest.test_case "constant sites" `Quick (fun () ->
+        let zero =
+          Lattice.make ~n_vars:2 (Array.make_matrix 2 3 Lattice.Zero)
+        in
+        let one = Lattice.make ~n_vars:2 (Array.make_matrix 2 3 Lattice.One) in
+        check "all-Zero" true (Tt.equal (Lattice.eval_all zero) (Tt.create 2 false));
+        check "all-One" true (Tt.equal (Lattice.eval_all one) (Tt.create 2 true));
+        let single = Lattice.make ~n_vars:0 [| [| Lattice.One |] |] in
+        check "n=0 single One" true
+          (Tt.equal (Lattice.eval_all single) (Tt.create 0 true)));
+    Alcotest.test_case "snake path uses upward segments" `Quick (fun () ->
+        let l =
+          Lattice.make ~n_vars:1
+            [| [| Lattice.One; Lattice.Zero; Lattice.One |];
+               [| Lattice.One; Lattice.Zero; Lattice.One |];
+               [| Lattice.One; Lattice.One; Lattice.One |] |]
+        in
+        check "snake conducts" true (Tt.eval_int (Lattice.eval_all l) 0)) ]
+
+let () =
+  Alcotest.run "bitslice"
+    [ ("popcount", popcount_tests);
+      ("bitvec-words", bitvec_tests);
+      ("qm-bucketing", qm_tests);
+      ("kernel", kernel_tests @ kernel_unit_tests) ]

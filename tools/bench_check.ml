@@ -1,0 +1,74 @@
+(* Perf-regression gate over a bench results file.
+
+   Reads a BENCH_results.json (path as argv, default BENCH_results.json)
+   and fails when a kernel experiment's determinism or throughput
+   contract regresses:
+
+   - every experiment publishing an ["identical"] headline flag (PAR,
+     SERVICE, BITSLICE) must report [true] — seeded runs must stay
+     bit-identical whatever --jobs was;
+   - a BITSLICE experiment must report [min_speedup >= 4] — the
+     word-parallel kernel must actually beat the scalar BFS.
+
+   Exit 0 when every gate passes and at least one identical flag was
+   seen; exit 1 otherwise.  Run via `make bench-smoke` / `make check`. *)
+
+module J = Nxc_obs.Json
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline ("bench_check: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let str_of = function J.Str s -> s | _ -> "?"
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
+  let doc =
+    match J.of_string (read_file path) with
+    | doc -> doc
+    | exception J.Parse_error e -> fail "%s: parse error: %s" path e
+  in
+  let experiments =
+    match J.member "experiments" doc with
+    | Some (J.List l) -> l
+    | _ -> fail "%s: no experiments list" path
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun exp ->
+      let id =
+        match J.member "id" exp with Some s -> str_of s | None -> "?"
+      in
+      let headline = J.member "headline" exp in
+      let field key = Option.bind headline (J.member key) in
+      (match field "identical" with
+      | Some (J.Bool true) ->
+          incr checked;
+          Printf.printf "bench_check: %-9s identical:true\n" id
+      | Some v ->
+          fail "%s: determinism flag regressed (identical = %s)" id
+            (J.to_string v)
+      | None -> ());
+      match field "min_speedup" with
+      | None -> ()
+      | Some v ->
+          let s =
+            match v with
+            | J.Float f -> f
+            | J.Int i -> float_of_int i
+            | _ -> nan
+          in
+          if s >= 4.0 then
+            Printf.printf "bench_check: %-9s min_speedup %.1fx\n" id s
+          else
+            fail "%s: kernel speedup regressed (min_speedup = %s)" id
+              (J.to_string v))
+    experiments;
+  if !checked = 0 then
+    fail "%s: no experiment published an identical flag (run PAR/SERVICE/BITSLICE)" path;
+  Printf.printf "bench_check: %d determinism gate(s) passed\n" !checked
