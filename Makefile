@@ -34,11 +34,12 @@ chaos:
 bench:
 	dune exec bench/main.exe
 
-# small-N perf-regression pass: run the kernel experiments with the
-# determinism headline flags and gate on them (identical:true must hold
-# and the bit-sliced kernel must keep its >= 4x margin over the BFS)
+# small-N perf-regression pass: run the kernel + service experiments
+# with the determinism headline flags and gate on them (identical:true
+# must hold, the bit-sliced kernel keeps its >= 4x margin over the BFS,
+# SERVICE keeps its warm hit rate, LOADGEN publishes finite quantiles)
 bench-smoke:
-	BENCH_OUT=bench_smoke.json dune exec bench/main.exe -- BITSLICE PAR
+	BENCH_OUT=bench_smoke.json dune exec bench/main.exe -- BITSLICE PAR SERVICE LOADGEN
 	dune exec tools/bench_check.exe -- bench_smoke.json
 
 # quick end-to-end exercise of the observability surface
@@ -50,4 +51,5 @@ smoke:
 
 clean:
 	dune clean
-	rm -f trace.json .nxc-cache results.jsonl bench_smoke.json
+	rm -f trace.json .nxc-cache results.jsonl bench_smoke.json \
+	  flight.jsonl events.jsonl

@@ -888,6 +888,119 @@ let e_service () =
     ("identical", J.Bool identical) ]
 
 (* ------------------------------------------------------------------ *)
+(* LOADGEN: JSONL job-mix replay with latency quantiles                *)
+(* ------------------------------------------------------------------ *)
+
+let e_loadgen () =
+  section "LOADGEN" "load generator: JSONL job-mix replay, SLO quantiles";
+  let module Svc = Nxc_service in
+  let lat_cold = Obs.Metrics.hdr "loadgen.latency.cold" in
+  let lat_warm = Obs.Metrics.hdr "loadgen.latency.warm" in
+  (* The job mix a serving stack would see: NPN variants of a few synth
+     classes (cache traffic) plus seeded simulations, serialized to the
+     exact JSONL lines the serve/batch CLI accepts. *)
+  let bases =
+    [ "x1x2 + x1'x2'"; "x1 ^ x2 ^ x3"; "x1x2 + x2x3 + x1'x3'";
+      "(x1 + x2')(x3 + x4)" ]
+  in
+  let variants_per_base = 6 in
+  let synth_exprs =
+    List.concat_map
+      (fun expr ->
+        let f = Boolfunc.table (Parse.expr expr) in
+        let n = Truth_table.n_vars f in
+        let variant i =
+          let t =
+            { Npn.perm = Array.init n (fun v -> (v + i) mod n);
+              input_neg = Array.init n (fun v -> (i lsr v) land 1 = 1);
+              output_neg = i land 1 = 1 }
+          in
+          Cover.to_string (Minimize.sop_table (Npn.apply t f))
+        in
+        expr :: List.init variants_per_base (fun i -> variant (i + 1)))
+      bases
+  in
+  let jobs_list =
+    List.map
+      (fun expr ->
+        { Svc.Job.id = None; budget_steps = None;
+          spec = Svc.Job.Synth { expr } })
+      synth_exprs
+    @ [ { Svc.Job.id = None; budget_steps = None;
+          spec = Svc.Job.Bist { rows = 8; cols = 8 } };
+        { Svc.Job.id = None; budget_steps = None;
+          spec = Svc.Job.Bism
+              { n = 24; k = 10; density = 0.03; seed = 7; trials = 3;
+                scheme = "greedy" } };
+        { Svc.Job.id = None; budget_steps = None;
+          spec =
+            Svc.Job.Yield { n = 16; density = 0.05; seed = 1; trials = 8 } } ]
+  in
+  let lines = List.map (fun j -> J.to_string (Svc.Job.to_json j)) jobs_list in
+  let n_jobs = List.length lines in
+  let time f =
+    let t0 = Obs.Clock.now_ns () in
+    let v = f () in
+    (v, Obs.Clock.ns_to_ms (Obs.Clock.now_ns () - t0))
+  in
+  (* serve-style replay: one job at a time, per-job latency into the
+     given HDR instrument *)
+  let replay hdr cache =
+    List.map
+      (fun line ->
+        let t0 = Obs.Clock.now_ns () in
+        let o = Svc.Engine.run_line ~cache line in
+        Obs.Metrics.hdr_observe hdr (Obs.Clock.now_ns () - t0);
+        o)
+      lines
+  in
+  let cache = Svc.Cache.create () in
+  let cold, cold_ms = time (fun () -> replay lat_cold cache) in
+  let warm, warm_ms = time (fun () -> replay lat_warm cache) in
+  (* batch replay of the same lines at --jobs N on a fresh cache: the
+     envelopes must still match the serve-style passes byte for byte *)
+  let batch, batch_ms =
+    time (fun () ->
+        Svc.Engine.run_lines ?pool:!the_pool ~cache:(Svc.Cache.create ()) lines)
+  in
+  let env (o : Svc.Engine.outcome) = J.to_string o.Svc.Engine.envelope in
+  let identical =
+    List.for_all2 (fun a b -> env a = env b) cold warm
+    && List.for_all2 (fun a b -> env a = env b) cold batch
+  in
+  let q hdr p = Obs.Clock.ns_to_ms (Obs.Metrics.hdr_quantile hdr p) in
+  let rate ms = float_of_int n_jobs /. (ms /. 1000.0) in
+  Format.printf
+    "replaying %d JSONL jobs (%d synth over %d NPN classes + 3 \
+     simulations):@."
+    n_jobs (List.length synth_exprs) (List.length bases);
+  Format.printf "%-6s %10s %11s %10s %10s %10s@." "pass" "total ms"
+    "jobs/s" "p50 ms" "p95 ms" "p99 ms";
+  Format.printf "%-6s %10.1f %11.0f %10.3f %10.3f %10.3f@." "cold" cold_ms
+    (rate cold_ms) (q lat_cold 0.50) (q lat_cold 0.95) (q lat_cold 0.99);
+  Format.printf "%-6s %10.1f %11.0f %10.3f %10.3f %10.3f@." "warm" warm_ms
+    (rate warm_ms) (q lat_warm 0.50) (q lat_warm 0.95) (q lat_warm 0.99);
+  Format.printf
+    "batch replay at --jobs %d: %.1f ms; cold/warm/batch envelopes \
+     identical: %b@."
+    !jobs batch_ms identical;
+  (* determinism is the serving contract; telemetry must not bend it *)
+  assert identical;
+  [ ("jobs", J.Int n_jobs);
+    ("identical", J.Bool identical);
+    ("cold_ms", J.Float cold_ms);
+    ("warm_ms", J.Float warm_ms);
+    ("batch_ms", J.Float batch_ms);
+    ("cold_jobs_per_s", J.Float (rate cold_ms));
+    ("warm_jobs_per_s", J.Float (rate warm_ms));
+    ("cold_p50_ms", J.Float (q lat_cold 0.50));
+    ("cold_p95_ms", J.Float (q lat_cold 0.95));
+    ("cold_p99_ms", J.Float (q lat_cold 0.99));
+    ("warm_p50_ms", J.Float (q lat_warm 0.50));
+    ("warm_p95_ms", J.Float (q lat_warm 0.95));
+    ("warm_p99_ms", J.Float (q lat_warm 0.99)) ]
+
+(* ------------------------------------------------------------------ *)
 (* BITSLICE: word-parallel lattice kernel vs scalar BFS                *)
 (* ------------------------------------------------------------------ *)
 
@@ -977,8 +1090,8 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("PAR", e_par); ("SERVICE", e_service); ("BITSLICE", e_bitslice);
-    ("TIMING", timing) ]
+    ("PAR", e_par); ("SERVICE", e_service); ("LOADGEN", e_loadgen);
+    ("BITSLICE", e_bitslice); ("TIMING", timing) ]
 
 (* Run one experiment under a wall-clock timer with a fresh metrics
    registry, and capture the headline numbers plus the metric snapshot. *)
@@ -1014,15 +1127,27 @@ let () =
   Nxc_par.Pool.with_jobs !jobs @@ fun pool ->
   the_pool := pool;
   let records =
-    List.map
-      (fun id ->
-        match List.assoc_opt (String.uppercase_ascii id) experiments with
-        | Some f -> run_one (String.uppercase_ascii id) f
-        | None ->
-            Format.eprintf "unknown experiment %s (have: %s)@." id
-              (String.concat ", " (List.map fst experiments));
-            exit 2)
-      requested
+    try
+      List.map
+        (fun id ->
+          match List.assoc_opt (String.uppercase_ascii id) experiments with
+          | Some f -> run_one (String.uppercase_ascii id) f
+          | None ->
+              Format.eprintf "unknown experiment %s (have: %s)@." id
+                (String.concat ", " (List.map fst experiments));
+              exit 2)
+        requested
+    with e ->
+      (* dump the flight-recorder ring so CI can attach what the bench
+         was doing when an assertion tripped *)
+      let oc = open_out "flight.jsonl" in
+      let ppf = Format.formatter_of_out_channel oc in
+      Obs.Recorder.export_jsonl ppf;
+      Format.pp_print_flush ppf ();
+      close_out oc;
+      Format.eprintf "bench failed (%s); flight recorder in flight.jsonl@."
+        (Printexc.to_string e);
+      raise e
   in
   let out =
     Option.value (Sys.getenv_opt "BENCH_OUT") ~default:"BENCH_results.json"

@@ -29,7 +29,10 @@ module Guard = Nxc_guard
 
 type trace_format = Tree | Jsonl | Chrome
 
-let obs_setup trace format metrics =
+let obs_setup trace format metrics log =
+  (match log with
+  | Some d -> Obs.Log.enable ~dest:d ()
+  | None -> () (* NANOXCOMP_LOG may already have enabled it *));
   let dest =
     match trace with
     | Some d ->
@@ -86,7 +89,18 @@ let obs_term =
       value & flag
       & info [ "metrics" ] ~doc:"Print the metrics snapshot on exit.")
   in
-  Term.(const obs_setup $ trace $ format $ metrics)
+  let log =
+    let doc =
+      "Write structured JSONL events to $(docv) (use $(b,--log) alone, or \
+       set NANOXCOMP_LOG, for stderr).  Also enables the flight-recorder \
+       dump on failing jobs and uncaught exceptions."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "log" ] ~docv:"FILE" ~doc)
+  in
+  Term.(const obs_setup $ trace $ format $ metrics $ log)
 
 (* ------------------------------------------------------------------ *)
 (* guard flags, shared by every subcommand                             *)
@@ -428,7 +442,7 @@ let machine_cmd =
     Term.(const run $ common_term $ program $ n)
 
 let stats_cmd =
-  let run _jobs expr json n density seed =
+  let run _jobs expr json prom n density seed =
     let f = parse_or_die expr in
     let chip =
       R.Defect.generate (R.Rng.create seed) ~rows:n ~cols:n
@@ -437,7 +451,9 @@ let stats_cmd =
     let result = C.Flow.run (R.Rng.create (seed + 1)) ~chip f in
     Format.printf "flow: mapped=%b functional=%b@.@."
       result.C.Flow.bism.R.Bism.success result.C.Flow.functional;
-    if json then print_endline (Obs.Json.to_string (Obs.Metrics.dump_json ()))
+    if prom then print_string (Obs.Metrics.dump_prometheus ())
+    else if json then
+      print_endline (Obs.Json.to_string (Obs.Metrics.dump_json ()))
     else print_string (Obs.Metrics.dump_text ())
   in
   let json =
@@ -445,13 +461,21 @@ let stats_cmd =
       value & flag
       & info [ "json" ] ~doc:"emit the snapshot as JSON instead of text")
   in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:"emit the snapshot as Prometheus text exposition")
+  in
   let n = Arg.(value & opt int 24 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "run the end-to-end flow once and print the pipeline metrics \
           snapshot")
-    Term.(const run $ common_term $ expr_arg $ json $ n $ density_arg $ seed_arg)
+    Term.(
+      const run $ common_term $ expr_arg $ json $ prom $ n $ density_arg
+      $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* service modes: batch + serve                                        *)
@@ -528,7 +552,11 @@ let batch_cmd =
         output_char oc '\n')
       outcomes;
     close ();
-    exit (Svc.Engine.batch_exit outcomes)
+    let code = Svc.Engine.batch_exit outcomes in
+    if code <> 0 then
+      Obs.Log.dump_flight
+        ~reason:(Printf.sprintf "batch exit %d" code);
+    exit code
   in
   let path =
     Arg.(
@@ -557,11 +585,22 @@ let serve_cmd =
       match input_line stdin with
       | exception End_of_file -> ()
       | "" -> loop ()
+      | "__stats__" ->
+          (* control line: one-line metrics snapshot (with quantiles),
+             never a job envelope, so clients can poll between jobs *)
+          print_string (Obs.Json.to_string (Obs.Metrics.dump_json ()));
+          print_newline ();
+          flush stdout;
+          loop ()
       | line ->
           let o = Svc.Engine.run_line ~cache line in
           print_string (Obs.Json.to_string o.Svc.Engine.envelope);
           print_newline ();
           flush stdout;
+          if o.Svc.Engine.exit_code <> 0 then
+            Obs.Log.dump_flight
+              ~reason:
+                (Printf.sprintf "serve envelope exit %d" o.Svc.Engine.exit_code);
           loop ()
     in
     loop ()
@@ -602,4 +641,8 @@ let () =
      with
     | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
     | Error (`Parse | `Term) -> 2
-    | Error `Exn -> 1)
+    | Error `Exn ->
+        (* cmdliner already printed the exception; the flight recorder
+           has the last thing the process was doing (when --log is on) *)
+        Obs.Log.dump_flight ~reason:"uncaught exception";
+        1)

@@ -27,7 +27,34 @@ type histogram = {
   mutable h_max : int;
 }
 
-type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+(* Log-linear high-dynamic-range histogram: each power-of-two range is
+   split into [hdr_sub] linear sub-buckets, so every bucket's width is
+   at most 2^-hdr_precision of its lower bound — quantiles come out
+   with <= 6.25% relative error over the full non-negative int range.
+   Values below [hdr_sub] get exact single-value buckets. *)
+let hdr_precision = 4
+
+let hdr_sub = 1 lsl hdr_precision
+
+(* linear region [0, hdr_sub) plus one row of [hdr_sub] sub-buckets per
+   octave from 2^hdr_precision up to max_int (bit 61 is the top octave
+   of a 63-bit int) *)
+let hdr_num_buckets = hdr_sub * (63 - hdr_precision)
+
+type hdr = {
+  x_name : string;
+  x_buckets : int array;
+  mutable x_count : int;
+  mutable x_sum : int;
+  mutable x_min : int;
+  mutable x_max : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Hdr of hdr
 
 type buffer = (string, metric) Hashtbl.t
 
@@ -90,9 +117,26 @@ let histogram_in tbl name =
       Hashtbl.replace tbl name (Histogram h);
       h
 
+let hdr_in tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some (Hdr h) -> h
+  | Some _ -> kind_error name "hdr"
+  | None ->
+      let h =
+        { x_name = name;
+          x_buckets = Array.make hdr_num_buckets 0;
+          x_count = 0;
+          x_sum = 0;
+          x_min = max_int;
+          x_max = 0 }
+      in
+      Hashtbl.replace tbl name (Hdr h);
+      h
+
 let counter name = counter_in (sink ()) name
 let gauge name = gauge_in (sink ()) name
 let histogram name = histogram_in (sink ()) name
+let hdr name = hdr_in (sink ()) name
 
 (* Recording through a pre-created handle must also honour the active
    buffer: module-level instruments are global records, but a worker
@@ -152,6 +196,80 @@ let hist_sum h = h.h_sum
 
 let hist_bucket h i = h.h_buckets.(i)
 
+(* ------------------------------------------------------------------ *)
+(* HDR buckets and quantiles                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bits v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let hdr_bucket_of v =
+  if v < 0 then invalid_arg "Nxc_obs.Metrics.hdr_bucket_of: negative value"
+  else if v < hdr_sub then v
+  else begin
+    let exp = bits v - 1 - hdr_precision in
+    hdr_sub + (exp lsl hdr_precision) + (v lsr exp) - hdr_sub
+  end
+
+let hdr_bucket_range i =
+  if i < hdr_sub then (i, i)
+  else begin
+    let i' = i - hdr_sub in
+    let exp = i' lsr hdr_precision in
+    let sub = i' land (hdr_sub - 1) in
+    (* the top bucket's [(hdr_sub + sub + 1) lsl exp] wraps to min_int
+       and the [- 1] on to max_int — exactly its upper bound *)
+    ((hdr_sub + sub) lsl exp, (((hdr_sub + sub + 1) lsl exp) - 1))
+  end
+
+let hdr_observe_cell h v =
+  let i = hdr_bucket_of v in
+  h.x_buckets.(i) <- h.x_buckets.(i) + 1;
+  h.x_count <- h.x_count + 1;
+  h.x_sum <- h.x_sum + v;
+  if v < h.x_min then h.x_min <- v;
+  if v > h.x_max then h.x_max <- v
+
+let hdr_observe h v =
+  if v < 0 then invalid_arg "Nxc_obs.Metrics.hdr_observe: negative value";
+  match !(Domain.DLS.get active_key) with
+  | None -> hdr_observe_cell h v
+  | Some b -> hdr_observe_cell (hdr_in b h.x_name) v
+
+let hdr_count h = h.x_count
+
+let hdr_sum h = h.x_sum
+
+(* Shared quantile walk: smallest bucket upper bound whose cumulative
+   count reaches the rank, clamped to the observed [min, max] so exact
+   extremes (p0/p100, single samples) come out exact. *)
+let quantile_over ~count ~vmin ~vmax ~buckets ~range q =
+  if count = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = min count (max 1 (int_of_float (ceil (q *. float_of_int count)))) in
+    let acc = ref 0 and result = ref vmax in
+    (try
+       for i = 0 to Array.length buckets - 1 do
+         acc := !acc + buckets.(i);
+         if !acc >= rank then begin
+           result := snd (range i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min vmax (max vmin !result)
+  end
+
+let quantile h q =
+  quantile_over ~count:h.h_count ~vmin:h.h_min ~vmax:h.h_max
+    ~buckets:h.h_buckets ~range:bucket_range q
+
+let hdr_quantile h q =
+  quantile_over ~count:h.x_count ~vmin:h.x_min ~vmax:h.x_max
+    ~buckets:h.x_buckets ~range:hdr_bucket_range q
+
 let merge (b : buffer) =
   (* merge into the caller's current sink (normally the registry), so
      nested merges compose; sorted for a deterministic creation order
@@ -175,7 +293,16 @@ let merge (b : buffer) =
           dst.h_count <- dst.h_count + h.h_count;
           dst.h_sum <- dst.h_sum + h.h_sum;
           if h.h_min < dst.h_min then dst.h_min <- h.h_min;
-          if h.h_max > dst.h_max then dst.h_max <- h.h_max)
+          if h.h_max > dst.h_max then dst.h_max <- h.h_max
+      | Hdr h ->
+          let dst = hdr name in
+          for i = 0 to hdr_num_buckets - 1 do
+            dst.x_buckets.(i) <- dst.x_buckets.(i) + h.x_buckets.(i)
+          done;
+          dst.x_count <- dst.x_count + h.x_count;
+          dst.x_sum <- dst.x_sum + h.x_sum;
+          if h.x_min < dst.x_min then dst.x_min <- h.x_min;
+          if h.x_max > dst.x_max then dst.x_max <- h.x_max)
     items
 
 let reset () =
@@ -189,30 +316,81 @@ let reset () =
           h.h_count <- 0;
           h.h_sum <- 0;
           h.h_min <- max_int;
-          h.h_max <- 0)
+          h.h_max <- 0
+      | Hdr h ->
+          Array.fill h.x_buckets 0 hdr_num_buckets 0;
+          h.x_count <- 0;
+          h.x_sum <- 0;
+          h.x_min <- max_int;
+          h.x_max <- 0)
     (sink ())
 
 let sorted_metrics () =
   Hashtbl.fold (fun name m acc -> (name, m) :: acc) (sink ()) []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let histogram_json h =
-  let buckets =
-    List.concat
-      (List.init num_buckets (fun i ->
-           if h.h_buckets.(i) = 0 then []
-           else
-             let lo, hi = bucket_range i in
-             [ Json.Obj
-                 [ ("ge", Json.Int lo); ("le", Json.Int hi);
-                   ("n", Json.Int h.h_buckets.(i)) ] ]))
+let names () = List.map fst (sorted_metrics ())
+
+(* ------------------------------------------------------------------ *)
+(* naming scheme                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Keep in sync with the scheme documented in metrics.mli; the
+   namespace-lint test walks [names ()] against this list. *)
+let namespaces =
+  [ "bism"; "bist"; "bitslice"; "defect"; "espresso"; "flow"; "guard";
+    "isop"; "lattice"; "loadgen"; "minimize"; "montecarlo"; "npn"; "par";
+    "qm"; "service"; "synth"; "test" ]
+
+let valid_name name =
+  let seg_ok s =
+    String.length s > 0
+    && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+         s
   in
+  match String.split_on_char '.' name with
+  | ns :: (_ :: _ as rest) -> List.mem ns namespaces && List.for_all seg_ok (ns :: rest)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let quantile_points = [ ("p50", 0.50); ("p90", 0.90); ("p95", 0.95); ("p99", 0.99) ]
+
+let buckets_json ~buckets ~range ~n =
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if buckets.(i) <> 0 then begin
+      let lo, hi = range i in
+      out :=
+        Json.Obj
+          [ ("ge", Json.Int lo); ("le", Json.Int hi);
+            ("n", Json.Int buckets.(i)) ]
+        :: !out
+    end
+  done;
+  Json.List !out
+
+let dist_json ~count ~sum ~vmin ~vmax ~buckets ~range ~n q_of =
   Json.Obj
-    [ ("count", Json.Int h.h_count);
-      ("sum", Json.Int h.h_sum);
-      ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
-      ("max", Json.Int h.h_max);
-      ("buckets", Json.List buckets) ]
+    ([ ("count", Json.Int count);
+       ("sum", Json.Int sum);
+       ("min", Json.Int (if count = 0 then 0 else vmin));
+       ("max", Json.Int vmax) ]
+    @ List.map (fun (key, q) -> (key, Json.Int (q_of q))) quantile_points
+    @ [ ("buckets", buckets_json ~buckets ~range ~n) ])
+
+let histogram_json h =
+  dist_json ~count:h.h_count ~sum:h.h_sum ~vmin:h.h_min ~vmax:h.h_max
+    ~buckets:h.h_buckets ~range:bucket_range ~n:num_buckets (quantile h)
+
+let hdr_json h =
+  dist_json ~count:h.x_count ~sum:h.x_sum ~vmin:h.x_min ~vmax:h.x_max
+    ~buckets:h.x_buckets ~range:hdr_bucket_range ~n:hdr_num_buckets
+    (hdr_quantile h)
 
 let dump_json () =
   let pick f =
@@ -233,20 +411,78 @@ let dump_json () =
         Json.Obj
           (pick (fun name -> function
              | Histogram h -> Some (name, histogram_json h)
+             | Hdr h -> Some (name, hdr_json h)
              | _ -> None)) ) ]
 
 let dump_text () =
   let b = Buffer.create 512 in
+  let dist kind name ~count ~sum ~vmin ~vmax q_of =
+    Buffer.add_string b
+      (Printf.sprintf
+         "%-9s %-32s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n"
+         kind name count sum
+         (if count = 0 then 0 else vmin)
+         vmax (q_of 0.50) (q_of 0.95) (q_of 0.99))
+  in
   List.iter
     (fun (name, m) ->
       match m with
       | Counter c -> Buffer.add_string b (Printf.sprintf "counter   %-32s %d\n" name c.c_value)
       | Gauge g -> Buffer.add_string b (Printf.sprintf "gauge     %-32s %g\n" name g.g_value)
       | Histogram h ->
-          Buffer.add_string b
-            (Printf.sprintf "histogram %-32s count=%d sum=%d min=%d max=%d\n"
-               name h.h_count h.h_sum
-               (if h.h_count = 0 then 0 else h.h_min)
-               h.h_max))
+          dist "histogram" name ~count:h.h_count ~sum:h.h_sum ~vmin:h.h_min
+            ~vmax:h.h_max (quantile h)
+      | Hdr h ->
+          dist "hdr" name ~count:h.x_count ~sum:h.x_sum ~vmin:h.x_min
+            ~vmax:h.x_max (hdr_quantile h))
+    (sorted_metrics ());
+  Buffer.contents b
+
+(* Prometheus text exposition (version 0.0.4): names are sanitized to
+   [a-z0-9_] with a "nanoxcomp_" prefix; histograms emit cumulative
+   le-buckets over the non-empty buckets plus "+Inf", _sum and _count. *)
+let prom_name name =
+  "nanoxcomp_"
+  ^ String.map
+      (function ('a' .. 'z' | '0' .. '9' | '_') as c -> c | _ -> '_')
+      name
+
+let dump_prometheus () =
+  let b = Buffer.create 1024 in
+  let header name kind =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  let dist name ~count ~sum ~buckets ~range ~n =
+    let pn = prom_name name in
+    header pn "histogram";
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      if buckets.(i) <> 0 then begin
+        acc := !acc + buckets.(i);
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" pn (snd (range i)) !acc)
+      end
+    done;
+    Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pn count);
+    Buffer.add_string b (Printf.sprintf "%s_sum %d\n" pn sum);
+    Buffer.add_string b (Printf.sprintf "%s_count %d\n" pn count)
+  in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+          let pn = prom_name name in
+          header pn "counter";
+          Buffer.add_string b (Printf.sprintf "%s %d\n" pn c.c_value)
+      | Gauge g ->
+          let pn = prom_name name in
+          header pn "gauge";
+          Buffer.add_string b (Printf.sprintf "%s %g\n" pn g.g_value)
+      | Histogram h ->
+          dist name ~count:h.h_count ~sum:h.h_sum ~buckets:h.h_buckets
+            ~range:bucket_range ~n:num_buckets
+      | Hdr h ->
+          dist name ~count:h.x_count ~sum:h.x_sum ~buckets:h.x_buckets
+            ~range:hdr_bucket_range ~n:hdr_num_buckets)
     (sorted_metrics ());
   Buffer.contents b

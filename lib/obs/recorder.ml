@@ -1,0 +1,99 @@
+(* Flight recorder: a fixed-size ring of the most recent events and
+   span completions, kept per domain.  Recording is always on — it is a
+   couple of field writes plus one small allocation — so when a job
+   fails the last [capacity] things the process did are available for a
+   post-mortem dump (Log.dump_flight) without any flag having been set
+   in advance.
+
+   Like spans and metrics buffers, the ring is domain-local: pool
+   workers (Nxc_par) record into their own rings, and the pool moves a
+   task's entries back to the main domain with [collect]/[absorb]. *)
+
+type entry = {
+  seq : int;
+  t_ns : int;
+  kind : string;  (* "event" or "span" *)
+  name : string;
+  data : (string * Json.t) list;
+}
+
+let capacity = 256
+
+type state = {
+  ring : entry option array;
+  mutable next_seq : int;
+  mutable pos : int;  (* next write index *)
+  mutable len : int;
+}
+
+let fresh () =
+  { ring = Array.make capacity None; next_seq = 0; pos = 0; len = 0 }
+
+let state_key : state ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (fresh ()))
+
+let push st e =
+  st.ring.(st.pos) <- Some e;
+  st.pos <- (st.pos + 1) mod capacity;
+  if st.len < capacity then st.len <- st.len + 1
+
+let record ?(kind = "event") ~name data =
+  let st = !(Domain.DLS.get state_key) in
+  let e =
+    { seq = st.next_seq; t_ns = Clock.now_ns (); kind; name; data }
+  in
+  st.next_seq <- st.next_seq + 1;
+  push st e
+
+let entries_of st =
+  let out = ref [] in
+  for i = 1 to st.len do
+    (* walk newest to oldest, consing so the result is oldest first *)
+    match st.ring.((st.pos - i + capacity) mod capacity) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let entries () = entries_of !(Domain.DLS.get state_key)
+
+let clear () = Domain.DLS.get state_key := fresh ()
+
+let absorb es =
+  let st = !(Domain.DLS.get state_key) in
+  List.iter
+    (fun e ->
+      let e = { e with seq = st.next_seq } in
+      st.next_seq <- st.next_seq + 1;
+      push st e)
+    es
+
+let collect f =
+  let slot = Domain.DLS.get state_key in
+  let saved = !slot in
+  slot := fresh ();
+  match f () with
+  | v ->
+      let produced = entries_of !slot in
+      slot := saved;
+      (v, produced)
+  | exception exn ->
+      (* keep the forensics: fold what the task recorded back into the
+         surrounding ring before re-raising *)
+      let produced = entries_of !slot in
+      slot := saved;
+      absorb produced;
+      raise exn
+
+let entry_json e =
+  Json.Obj
+    [ ("seq", Json.Int e.seq);
+      ("t_ns", Json.Int e.t_ns);
+      ("kind", Json.Str e.kind);
+      ("name", Json.Str e.name);
+      ("data", Json.Obj e.data) ]
+
+let export_jsonl ppf =
+  List.iter
+    (fun e -> Format.fprintf ppf "%s@." (Json.to_string (entry_json e)))
+    (entries ())

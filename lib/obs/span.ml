@@ -61,13 +61,18 @@ let reset () =
   s.finished <- []
 
 let record s o =
+  let dur_ns = Clock.now_ns () - o.o_start in
+  (* completed spans also feed the flight-recorder ring, so a failure
+     dump shows what the process was timing when it died *)
+  Recorder.record ~kind:"span" ~name:o.o_name
+    (("dur_ns", Json.Int dur_ns) :: o.o_attrs);
   s.finished <-
     { id = o.o_id;
       parent = o.o_parent;
       depth = o.o_depth;
       name = o.o_name;
       start_ns = o.o_start;
-      dur_ns = Clock.now_ns () - o.o_start;
+      dur_ns;
       attrs = o.o_attrs }
     :: s.finished
 

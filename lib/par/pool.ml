@@ -11,6 +11,7 @@
 module Budget = Nxc_guard.Budget
 module Metrics = Nxc_obs.Metrics
 module Span = Nxc_obs.Span
+module Recorder = Nxc_obs.Recorder
 
 type batch = {
   b_id : int;
@@ -127,6 +128,7 @@ let run_batch t work =
    first raise, like a sequential loop would). *)
 type 'a chunk_out = {
   mutable spans : Span.t list;
+  mutable events : Recorder.entry list;
   mutable buf : Metrics.buffer option;
   mutable failed : (exn * Printexc.raw_backtrace) option;
 }
@@ -152,7 +154,8 @@ let parallel_map p n f g chunk =
   let nchunks = (n + chunk - 1) / chunk in
   let results = Array.make n None in
   let outs =
-    Array.init nchunks (fun _ -> { spans = []; buf = None; failed = None })
+    Array.init nchunks (fun _ ->
+        { spans = []; events = []; buf = None; failed = None })
   in
   let slices = if Budget.is_limited g then Some (Budget.partition g nslots) else None in
   let slot_budget s =
@@ -165,18 +168,20 @@ let parallel_map p n f g chunk =
     let out = outs.(c) in
     let buf = Metrics.buffer () in
     out.buf <- Some buf;
-    let (), spans =
-      Span.collect (fun () ->
-          Metrics.with_buffer buf (fun () ->
-              try
-                for i = lo to hi - 1 do
-                  Metrics.incr m_tasks;
-                  results.(i) <- Some (f i)
-                done
-              with e ->
-                out.failed <- Some (e, Printexc.get_raw_backtrace ())))
+    let ((), spans), events =
+      Recorder.collect (fun () ->
+          Span.collect (fun () ->
+              Metrics.with_buffer buf (fun () ->
+                  try
+                    for i = lo to hi - 1 do
+                      Metrics.incr m_tasks;
+                      results.(i) <- Some (f i)
+                    done
+                  with e ->
+                    out.failed <- Some (e, Printexc.get_raw_backtrace ()))))
     in
-    out.spans <- spans
+    out.spans <- spans;
+    out.events <- events
   in
   let work ~slot =
     Budget.with_current (slot_budget slot) (fun () ->
@@ -200,6 +205,7 @@ let parallel_map p n f g chunk =
        (fun out ->
          (match out.buf with Some b -> Metrics.merge b | None -> ());
          Span.absorb out.spans;
+         Recorder.absorb out.events;
          match out.failed with
          | Some _ as f ->
              failure := f;

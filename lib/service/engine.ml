@@ -17,6 +17,25 @@ module C = Nxc_core
 let m_jobs = Nxc_obs.Metrics.counter "service.jobs"
 let m_errors = Nxc_obs.Metrics.counter "service.errors"
 
+(* Per-job and per-stage latency distributions, in nanoseconds.  HDR
+   instruments so stats/serve can answer with p50/p95/p99.  Stage
+   nesting: [render] includes the cache-hit [verify] re-check; [job] is
+   the whole sequential resolution of one job (in batch mode a pooled
+   leader's compute runs on a worker and is recorded under [compute]
+   only, so [job] stays comparable across --jobs N). *)
+let m_lat_job = Nxc_obs.Metrics.hdr "service.latency.job"
+let m_lat_parse = Nxc_obs.Metrics.hdr "service.latency.parse"
+let m_lat_key = Nxc_obs.Metrics.hdr "service.latency.key"
+let m_lat_compute = Nxc_obs.Metrics.hdr "service.latency.compute"
+let m_lat_verify = Nxc_obs.Metrics.hdr "service.latency.verify"
+let m_lat_render = Nxc_obs.Metrics.hdr "service.latency.render"
+
+let timed h f =
+  let t0 = Nxc_obs.Clock.now_ns () in
+  let r = f () in
+  Nxc_obs.Metrics.hdr_observe h (Nxc_obs.Clock.now_ns () - t0);
+  r
+
 type outcome = { envelope : J.t; exit_code : int; cached : bool }
 
 (* a planned job: either dead on arrival, or keyed with a way to
@@ -118,8 +137,9 @@ let plan_synth (job : Job.t) expr =
                 let dual = Npn.cover_of_canon tr canon_dual in
                 if
                   not
-                    (Minimize.verify cover f
-                    && Minimize.verify dual (Boolfunc.dual f))
+                    (timed m_lat_verify (fun () ->
+                         Minimize.verify cover f
+                         && Minimize.verify dual (Boolfunc.dual f)))
                 then corrupt ()
                 else
                   let p = Cover.num_cubes cover in
@@ -260,6 +280,9 @@ let id_json = function Some i -> J.Str i | None -> J.Null
 
 let ok_envelope ?id ~kind (result, exit_code) ~cached =
   Nxc_obs.Metrics.incr m_jobs;
+  Nxc_obs.Log.event ~level:Nxc_obs.Log.Debug ~name:"service.job"
+    [ ("id", id_json id); ("kind", J.Str kind); ("exit", J.Int exit_code);
+      ("cached", J.Bool cached) ];
   { envelope =
       J.Obj
         [ ("id", id_json id); ("kind", J.Str kind); ("status", J.Str "ok");
@@ -272,6 +295,11 @@ let error_envelope ?id ?kind e =
   Nxc_obs.Metrics.incr m_errors;
   Error.count e;
   let exit_code = Error.exit_code e in
+  Nxc_obs.Log.event ~level:Nxc_obs.Log.Error ~name:"service.error"
+    [ ("id", id_json id);
+      ("kind", match kind with Some k -> J.Str k | None -> J.Null);
+      ("exit", J.Int exit_code);
+      ("error", J.Str (Error.to_string e)) ];
   { envelope =
       J.Obj
         [ ("id", id_json id);
@@ -282,7 +310,7 @@ let error_envelope ?id ?kind e =
     cached = false }
 
 let render_or_error ?id ~kind keyed value ~cached =
-  match keyed.render value with
+  match timed m_lat_render (fun () -> keyed.render value) with
   | Ok rendered -> ok_envelope ?id ~kind rendered ~cached
   | Error e -> error_envelope ?id ~kind e
 
@@ -290,11 +318,15 @@ let render_or_error ?id ~kind keyed value ~cached =
 (* drivers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* tags produced by the sequential planning pass, in job order *)
-type tagged =
+(* tags produced by the sequential planning pass, in job order;
+   [prep_ns] is what parsing + keying the job cost, folded into the
+   job's end-to-end latency at resolution time *)
+type tag =
   | TBad of Job.t option * Error.t
   | TLead of Job.t * keyed
   | TFollow of Job.t * keyed
+
+type tagged = { prep_ns : int; tag : tag }
 
 let resolve_sequential cache (job : Job.t) keyed =
   let id = job.Job.id and kind = Job.kind job in
@@ -304,7 +336,7 @@ let resolve_sequential cache (job : Job.t) keyed =
       match
         Nxc_obs.Span.with_ ~name:"service.compute"
           ~attrs:(fun () -> [ ("kind", J.Str kind) ])
-          keyed.compute
+          (fun () -> timed m_lat_compute keyed.compute)
       with
       | Ok value ->
           Cache.add cache keyed.key value;
@@ -318,24 +350,28 @@ let run_tagged ?pool ?cache tags =
   let seen = Hashtbl.create 16 in
   let tags =
     List.map
-      (function
+      (fun t ->
+        match t.tag with
         | TLead (job, k) | TFollow (job, k) ->
             if Cache.peek cache k.key <> None || Hashtbl.mem seen k.key then
-              TFollow (job, k)
+              { t with tag = TFollow (job, k) }
             else begin
               Hashtbl.add seen k.key ();
-              TLead (job, k)
+              { t with tag = TLead (job, k) }
             end
-        | t -> t)
+        | TBad _ -> t)
       tags
   in
   let leaders =
-    List.filter_map (function TLead (_, k) -> Some k | _ -> None) tags
+    List.filter_map
+      (fun t -> match t.tag with TLead (_, k) -> Some k | _ -> None)
+      tags
   in
   let computed =
     Nxc_par.Pool.map ?pool
       (fun k ->
-        Nxc_obs.Span.with_ ~name:"service.compute" (fun () -> k.compute ()))
+        Nxc_obs.Span.with_ ~name:"service.compute" (fun () ->
+            timed m_lat_compute k.compute))
       leaders
   in
   (* final pass, on the calling domain, in job order: all cache reads
@@ -349,46 +385,72 @@ let run_tagged ?pool ?cache tags =
     | [] -> assert false
   in
   List.map
-    (fun tag ->
-      match tag with
-      | TBad (job, e) ->
-          error_envelope
-            ?id:(Option.bind job (fun j -> j.Job.id))
-            ?kind:(Option.map Job.kind job)
-            e
-      | TLead (job, k) -> (
-          let id = job.Job.id and kind = Job.kind job in
-          ignore (Cache.find cache k.key : J.t option) (* counts the miss *);
-          match next () with
-          | Ok value ->
-              Cache.add cache k.key value;
-              render_or_error ?id ~kind k value ~cached:false
-          | Error e -> error_envelope ?id ~kind e)
-      | TFollow (job, k) -> resolve_sequential cache job k)
+    (fun { prep_ns; tag } ->
+      let t0 = Nxc_obs.Clock.now_ns () in
+      let out =
+        match tag with
+        | TBad (job, e) ->
+            error_envelope
+              ?id:(Option.bind job (fun j -> j.Job.id))
+              ?kind:(Option.map Job.kind job)
+              e
+        | TLead (job, k) -> (
+            let id = job.Job.id and kind = Job.kind job in
+            ignore (Cache.find cache k.key : J.t option) (* counts the miss *);
+            match next () with
+            | Ok value ->
+                Cache.add cache k.key value;
+                render_or_error ?id ~kind k value ~cached:false
+            | Error e -> error_envelope ?id ~kind e)
+        | TFollow (job, k) -> resolve_sequential cache job k
+      in
+      Nxc_obs.Metrics.hdr_observe m_lat_job
+        (prep_ns + (Nxc_obs.Clock.now_ns () - t0));
+      out)
     tags
 
-let tag_job job = match plan job with
-  | Bad e -> TBad (Some job, e)
-  | Keyed k -> TFollow (job, k)
+let tag_job job =
+  let t0 = Nxc_obs.Clock.now_ns () in
+  let tag =
+    match plan job with
+    | Bad e -> TBad (Some job, e)
+    | Keyed k -> TFollow (job, k)
+  in
+  let dt = Nxc_obs.Clock.now_ns () - t0 in
+  Nxc_obs.Metrics.hdr_observe m_lat_key dt;
+  { prep_ns = dt; tag }
 
 let run_jobs ?pool ?cache jobs = run_tagged ?pool ?cache (List.map tag_job jobs)
 
 let tag_line line =
+  let t0 = Nxc_obs.Clock.now_ns () in
   match Job.of_line line with
-  | Error e -> TBad (None, e)
-  | Ok job -> tag_job job
+  | Error e ->
+      let dt = Nxc_obs.Clock.now_ns () - t0 in
+      Nxc_obs.Metrics.hdr_observe m_lat_parse dt;
+      { prep_ns = dt; tag = TBad (None, e) }
+  | Ok job ->
+      let dt = Nxc_obs.Clock.now_ns () - t0 in
+      Nxc_obs.Metrics.hdr_observe m_lat_parse dt;
+      let t = tag_job job in
+      { t with prep_ns = t.prep_ns + dt }
 
 let run_lines ?pool ?cache lines =
   run_tagged ?pool ?cache (List.map tag_line lines)
 
 let run_line ?cache line =
   let cache = match cache with Some c -> c | None -> Cache.create () in
-  match Job.of_line line with
-  | Error e -> error_envelope e
-  | Ok job -> (
-      match plan job with
-      | Bad e -> error_envelope ?id:job.Job.id ~kind:(Job.kind job) e
-      | Keyed k -> resolve_sequential cache job k)
+  let t0 = Nxc_obs.Clock.now_ns () in
+  let out =
+    match timed m_lat_parse (fun () -> Job.of_line line) with
+    | Error e -> error_envelope e
+    | Ok job -> (
+        match timed m_lat_key (fun () -> plan job) with
+        | Bad e -> error_envelope ?id:job.Job.id ~kind:(Job.kind job) e
+        | Keyed k -> resolve_sequential cache job k)
+  in
+  Nxc_obs.Metrics.hdr_observe m_lat_job (Nxc_obs.Clock.now_ns () - t0);
+  out
 
 let batch_exit outcomes =
   match List.find_opt (fun o -> o.exit_code <> 0) outcomes with

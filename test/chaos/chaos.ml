@@ -226,6 +226,16 @@ let () =
   adversarial_qm ();
   let dt = Unix.gettimeofday () -. t0 in
   Format.printf "chaos: %d runs, %d failures in %.1fs@." !runs !failures dt;
+  if !failures > 0 then begin
+    (* leave the flight-recorder ring on disk so CI can attach what the
+       harness was doing around the failing cases *)
+    let oc = open_out "flight.jsonl" in
+    let ppf = Format.formatter_of_out_channel oc in
+    Nxc_obs.Recorder.export_jsonl ppf;
+    Format.pp_print_flush ppf ();
+    close_out oc;
+    Format.eprintf "chaos: flight recorder dumped to flight.jsonl@."
+  end;
   if !runs < 200 then begin
     Format.eprintf "chaos: expected at least 200 runs@.";
     exit 1

@@ -97,6 +97,11 @@ parallelism flags (--trace / --metrics / --budget-steps / --jobs):
          -k K (absent=12)
              logical side
   
+         --log[=FILE] (default=-)
+             Write structured JSONL events to FILE (use --log alone, or set
+             NANOXCOMP_LOG, for stderr). Also enables the flight-recorder dump
+             on failing jobs and uncaught exceptions.
+  
          --metrics
              Print the metrics snapshot on exit.
   

@@ -27,7 +27,10 @@ cache.  Job b spells the same truth table over x2/x3 but parses as a
 3-variable function, which is a different class on purpose — arity is
 part of the key.
 
-  $ nanoxcomp batch jobs.jsonl --metrics -o /dev/null | grep 'service\.'
+(the grep pins the counters only: the service.latency.* histograms on
+the same dump carry wall-clock quantiles, which can never be stable)
+
+  $ nanoxcomp batch jobs.jsonl --metrics -o /dev/null | grep 'counter   service\.'
   counter   service.cache.evictions          0
   counter   service.cache.hits               1
   counter   service.cache.misses             4
@@ -71,4 +74,4 @@ no rates) for exactly this kind of test.
   $ nanoxcomp stats "x1x2 + x1'x2'" --json
   flow: mapped=true functional=true
   
-  {"counters":{"bism.configurations":1,"bism.remap_attempts":0,"bism.runs":1,"bism.successes":1,"bism.test_applications":4,"bist.plans":0,"bist.syndromes":0,"bist.vectors":0,"bitslice.kernel_calls":1,"bitslice.word_ops":4,"defect.chips_generated":1,"espresso.expand_iters":0,"espresso.minimize_calls":0,"espresso.rounds":0,"flow.escalations":0,"flow.functional":1,"flow.infeasible":0,"flow.runs":1,"guard.budget_exhausted":0,"guard.budgets":0,"guard.degradations":0,"guard.errors":0,"isop.calls":0,"isop.recursive_calls":0,"lattice.ar_syntheses":12,"lattice.equiv_checks":1,"minimize.degraded":0,"minimize.sop_calls":26,"montecarlo.trials":0,"npn.canonicalizations":0,"npn.semi":0,"par.batches":0,"par.chunks":0,"par.tasks":0,"qm.bnb_nodes":0,"qm.budget_exhausted":0,"qm.minimize_calls":26,"qm.prime_implicants":36,"service.cache.evictions":0,"service.cache.hits":0,"service.cache.misses":0,"service.errors":0,"service.jobs":0,"synth.degraded":0,"synth.functions":1,"synth.verifications":0},"gauges":{},"histograms":{"bism.configs_per_run":{"count":1,"sum":1,"min":1,"max":1,"buckets":[{"ge":1,"le":1,"n":1}]},"qm.primes_per_call":{"count":26,"sum":36,"min":1,"max":2,"buckets":[{"ge":1,"le":1,"n":16},{"ge":2,"le":3,"n":10}]}}}
+  {"counters":{"bism.configurations":1,"bism.remap_attempts":0,"bism.runs":1,"bism.successes":1,"bism.test_applications":4,"bist.plans":0,"bist.syndromes":0,"bist.vectors":0,"bitslice.kernel_calls":1,"bitslice.word_ops":4,"defect.chips_generated":1,"espresso.expand_iters":0,"espresso.minimize_calls":0,"espresso.rounds":0,"flow.escalations":0,"flow.functional":1,"flow.infeasible":0,"flow.runs":1,"guard.budget_exhausted":0,"guard.budgets":0,"guard.degradations":0,"guard.errors":0,"isop.calls":0,"isop.recursive_calls":0,"lattice.ar_syntheses":12,"lattice.equiv_checks":1,"minimize.degraded":0,"minimize.sop_calls":26,"montecarlo.trials":0,"npn.canonicalizations":0,"npn.semi":0,"par.batches":0,"par.chunks":0,"par.tasks":0,"qm.bnb_nodes":0,"qm.budget_exhausted":0,"qm.minimize_calls":26,"qm.prime_implicants":36,"service.cache.evictions":0,"service.cache.hits":0,"service.cache.misses":0,"service.errors":0,"service.jobs":0,"synth.degraded":0,"synth.functions":1,"synth.verifications":0},"gauges":{},"histograms":{"bism.configs_per_run":{"count":1,"sum":1,"min":1,"max":1,"p50":1,"p90":1,"p95":1,"p99":1,"buckets":[{"ge":1,"le":1,"n":1}]},"qm.primes_per_call":{"count":26,"sum":36,"min":1,"max":2,"p50":1,"p90":2,"p95":2,"p99":2,"buckets":[{"ge":1,"le":1,"n":16},{"ge":2,"le":3,"n":10}]},"service.latency.compute":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.job":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.key":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.parse":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.render":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.verify":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]}}}

@@ -1,0 +1,82 @@
+The SLO telemetry surface: the structured JSONL log, the
+flight-recorder dump, the serve-mode __stats__ control line, and the
+Prometheus exposition.  Only timestamps vary run to run; everything
+else is pinned (the sed rewrites t_ns to T).
+
+--log=FILE writes one JSON object per event, and the envelopes stay
+byte-identical to a run without it — telemetry rides out-of-band:
+
+  $ printf '%s\n' '{"id":"a","kind":"synth","expr":"x1x2"}' > jobs.jsonl
+  $ nanoxcomp batch jobs.jsonl -o plain.out
+  $ nanoxcomp batch jobs.jsonl --log=events.jsonl -o logged.out
+  $ cmp plain.out logged.out
+  $ sed -E 's/"t_ns":[0-9]+/"t_ns":T/g' events.jsonl
+  {"t_ns":T,"level":"debug","event":"service.job","id":"a","kind":"synth","exit":0,"cached":false}
+
+NANOXCOMP_LOG=1 is the same switch for environments where the flag is
+out of reach; "1"/"-" select stderr:
+
+  $ NANOXCOMP_LOG=1 nanoxcomp batch jobs.jsonl -o /dev/null 2>&1 >/dev/null \
+  >   | sed -E 's/"t_ns":[0-9]+/"t_ns":T/g'
+  {"t_ns":T,"level":"debug","event":"service.job","id":"a","kind":"synth","exit":0,"cached":false}
+
+A failing job trips the flight-recorder dump: after the events, the
+log carries a flight.dump header and the ring's retained entries
+(recorded whatever the log level was), so the run's last moments
+survive the failure:
+
+  $ printf '%s\n' '{"id":"a","kind":"synth","expr":"x1x2"}' '{"kind":"warp"}' > bad.jsonl
+  $ nanoxcomp batch bad.jsonl --log=flight.jsonl -o /dev/null
+  [3]
+  $ sed -E 's/"t_ns":[0-9]+/"t_ns":T/g' flight.jsonl
+  {"t_ns":T,"level":"debug","event":"service.job","id":"a","kind":"synth","exit":0,"cached":false}
+  {"t_ns":T,"level":"error","event":"service.error","id":null,"kind":null,"exit":3,"error":"invalid input: job spec: unknown kind \"warp\" (have: synth, flow, bist, bism, yield)"}
+  {"t_ns":T,"level":"error","event":"flight.dump","reason":"batch exit 3","entries":2}
+  {"seq":0,"t_ns":T,"kind":"event","name":"service.job","data":{"level":"debug","id":"a","kind":"synth","exit":0,"cached":false}}
+  {"seq":1,"t_ns":T,"kind":"event","name":"service.error","data":{"level":"error","id":null,"kind":null,"exit":3,"error":"invalid input: job spec: unknown kind \"warp\" (have: synth, flow, bist, bism, yield)"}}
+
+Without --log (or the env var) a failing batch writes nothing extra —
+stderr stays byte-stable for scripted callers:
+
+  $ nanoxcomp batch bad.jsonl -o /dev/null 2>err.out
+  [3]
+  $ wc -c < err.out
+  0
+
+Serve mode answers the __stats__ control line with a one-line JSON
+snapshot — never a job envelope — so clients can poll quantiles
+between jobs.  The latency values are wall-clock, so the pin greps
+shape, not numbers:
+
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '__stats__' | nanoxcomp serve > serve.out
+  $ wc -l < serve.out
+  2
+  $ tail -1 serve.out | grep -c '"service.jobs":1'
+  1
+  $ tail -1 serve.out | grep -c '"service.latency.job":{"count":1'
+  1
+  $ tail -1 serve.out | grep -c '"p99"'
+  1
+
+stats --prom emits the same registry in Prometheus text exposition
+(format 0.0.4): nanoxcomp_-prefixed names, a # TYPE header per
+instrument, cumulative le-buckets for histograms.  The stats
+subcommand itself records no latencies, so the whole dump is
+deterministic; pinned here are one counter, one loaded histogram, and
+the zero-count shape of an SLO latency histogram:
+
+  $ nanoxcomp stats "x1x2 + x1'x2'" --prom > prom.out
+  $ grep -E '^# TYPE nanoxcomp_qm_primes|^nanoxcomp_qm_primes' prom.out
+  # TYPE nanoxcomp_qm_primes_per_call histogram
+  nanoxcomp_qm_primes_per_call_bucket{le="1"} 16
+  nanoxcomp_qm_primes_per_call_bucket{le="3"} 26
+  nanoxcomp_qm_primes_per_call_bucket{le="+Inf"} 26
+  nanoxcomp_qm_primes_per_call_sum 36
+  nanoxcomp_qm_primes_per_call_count 26
+  $ grep -E '^# TYPE nanoxcomp_service_latency_job|^nanoxcomp_service_latency_job' prom.out
+  # TYPE nanoxcomp_service_latency_job histogram
+  nanoxcomp_service_latency_job_bucket{le="+Inf"} 0
+  nanoxcomp_service_latency_job_sum 0
+  nanoxcomp_service_latency_job_count 0
+  $ grep '^nanoxcomp_flow_runs' prom.out
+  nanoxcomp_flow_runs 1

@@ -5,10 +5,15 @@
    contract regresses:
 
    - every experiment publishing an ["identical"] headline flag (PAR,
-     SERVICE, BITSLICE) must report [true] — seeded runs must stay
-     bit-identical whatever --jobs was;
+     SERVICE, LOADGEN, BITSLICE) must report [true] — seeded runs must
+     stay bit-identical whatever --jobs was;
    - a BITSLICE experiment must report [min_speedup >= 4] — the
-     word-parallel kernel must actually beat the scalar BFS.
+     word-parallel kernel must actually beat the scalar BFS;
+   - a LOADGEN experiment must publish a finite, positive [warm_p99_ms]
+     — the SLO quantile pipeline must actually produce numbers;
+   - a SERVICE experiment must keep [warm_hit_rate >= 0.95] — a warm
+     rerun of the job mix must resolve (almost) everything from the
+     cache.
 
    Exit 0 when every gate passes and at least one identical flag was
    seen; exit 1 otherwise.  Run via `make bench-smoke` / `make check`. *)
@@ -54,20 +59,40 @@ let () =
           fail "%s: determinism flag regressed (identical = %s)" id
             (J.to_string v)
       | None -> ());
-      match field "min_speedup" with
+      let num = function
+        | J.Float f -> f
+        | J.Int i -> float_of_int i
+        | _ -> nan
+      in
+      (match field "min_speedup" with
       | None -> ()
       | Some v ->
-          let s =
-            match v with
-            | J.Float f -> f
-            | J.Int i -> float_of_int i
-            | _ -> nan
-          in
+          let s = num v in
           if s >= 4.0 then
             Printf.printf "bench_check: %-9s min_speedup %.1fx\n" id s
           else
             fail "%s: kernel speedup regressed (min_speedup = %s)" id
-              (J.to_string v))
+              (J.to_string v));
+      (if id = "LOADGEN" then
+         match field "warm_p99_ms" with
+         | None -> fail "LOADGEN: no warm_p99_ms in headline"
+         | Some v ->
+             let p99 = num v in
+             if Float.is_finite p99 && p99 > 0.0 then
+               Printf.printf "bench_check: %-9s warm_p99 %.3fms\n" id p99
+             else
+               fail "LOADGEN: warm p99 is not a finite positive time (%s)"
+                 (J.to_string v));
+      if id = "SERVICE" then
+        match field "warm_hit_rate" with
+        | None -> fail "SERVICE: no warm_hit_rate in headline"
+        | Some v ->
+            let r = num v in
+            if r >= 0.95 then
+              Printf.printf "bench_check: %-9s warm_hit_rate %.2f\n" id r
+            else
+              fail "SERVICE: warm cache hit rate regressed (%s < 0.95)"
+                (J.to_string v))
     experiments;
   if !checked = 0 then
     fail "%s: no experiment published an identical flag (run PAR/SERVICE/BITSLICE)" path;
