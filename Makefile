@@ -39,7 +39,7 @@ bench:
 # must hold, the bit-sliced kernel keeps its >= 4x margin over the BFS,
 # SERVICE keeps its warm hit rate, LOADGEN publishes finite quantiles)
 bench-smoke:
-	BENCH_OUT=bench_smoke.json dune exec bench/main.exe -- BITSLICE PAR SERVICE LOADGEN
+	BENCH_OUT=bench_smoke.json dune exec bench/main.exe -- BITSLICE PAR SERVICE LOADGEN E17
 	dune exec tools/bench_check.exe -- bench_smoke.json
 
 # quick end-to-end exercise of the observability surface

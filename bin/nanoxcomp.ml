@@ -7,6 +7,7 @@
      bism               self-mapping experiment on random chips
      flow   <expr>      end-to-end synthesize/map/verify pipeline
      yield              k x k recovery statistics
+     repair             BIRA/BISR spare-repair experiment on random chips
      stats  <expr>      end-to-end flow + full metrics snapshot
      batch  <jobs.jsonl>  run a JSONL job file through the service engine
      serve              long-lived worker: job specs on stdin, results on stdout
@@ -360,6 +361,70 @@ let yield_cmd =
     (Cmd.info "yield" ~doc:"defect-unaware flow yield statistics")
     Term.(const run $ common_term $ n $ density_arg $ trials)
 
+let repair_cmd =
+  let run jobs rows cols spare_rows spare_cols density seed trials mode =
+    if spare_rows < 0 || spare_cols < 0 then
+      die_error
+        (Guard.Error.invalid_input "spare budgets must be non-negative");
+    let profile =
+      match R.Defect.validate_profile (R.Defect.uniform density) with
+      | Ok p -> p
+      | Error e -> die_error e
+    in
+    Nxc_par.Pool.with_jobs jobs @@ fun pool ->
+    let mc, _ =
+      R.Bira.monte_carlo ?pool ~mode (R.Rng.create seed) ~trials ~rows ~cols
+        ~spare_rows ~spare_cols ~profile
+    in
+    let overhead =
+      Nxc_crossbar.Metrics.spare_overhead ~rows ~cols ~spare_rows ~spare_cols
+        ()
+    in
+    Format.printf
+      "%d/%d chips repaired (%dx%d + %d/%d spares at %.1f%% defects)@."
+      mc.R.Bira.mc_repaired trials rows cols spare_rows spare_cols
+      (100.0 *. density);
+    Format.printf
+      "avg %.1f spare lines per repaired chip, %d must-repair lines, %d \
+       degraded trials@."
+      mc.R.Bira.mc_avg_spares mc.R.Bira.mc_must_lines mc.R.Bira.mc_degraded;
+    Format.printf "spare area overhead: %.1f%%@."
+      (100.0 *. overhead.Nxc_crossbar.Metrics.area_overhead)
+  in
+  let rows =
+    Arg.(
+      value & opt int 12 & info [ "rows"; "r" ] ~docv:"R" ~doc:"logical rows")
+  in
+  let cols =
+    Arg.(
+      value & opt int 12 & info [ "cols"; "c" ] ~docv:"C" ~doc:"logical cols")
+  in
+  let spare_rows =
+    Arg.(
+      value & opt int 2
+      & info [ "spare-rows" ] ~docv:"SR" ~doc:"spare rows fabricated")
+  in
+  let spare_cols =
+    Arg.(
+      value & opt int 2
+      & info [ "spare-cols" ] ~docv:"SC" ~doc:"spare columns fabricated")
+  in
+  let trials =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"chips to try")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("exact", R.Bira.Exact); ("greedy", R.Bira.Greedy) ])
+          R.Bira.Exact
+      & info [ "mode" ] ~docv:"MODE" ~doc:"spare allocation: exact or greedy")
+  in
+  Cmd.v
+    (Cmd.info "repair" ~doc:"BIRA/BISR spare-repair experiment")
+    Term.(
+      const run $ common_term $ rows $ cols $ spare_rows $ spare_cols
+      $ density_arg $ seed_arg $ trials $ mode)
+
 let pla_cmd =
   let run _jobs path =
     let text =
@@ -637,7 +702,8 @@ let () =
        Cmd.eval_value
          (Cmd.group info
             [ synth_cmd; suite_cmd; bist_cmd; bism_cmd; flow_cmd; yield_cmd;
-              pla_cmd; machine_cmd; stats_cmd; batch_cmd; serve_cmd ])
+              repair_cmd; pla_cmd; machine_cmd; stats_cmd; batch_cmd;
+              serve_cmd ])
      with
     | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
     | Error (`Parse | `Term) -> 2

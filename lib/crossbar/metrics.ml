@@ -50,3 +50,38 @@ let pp ppf r =
 
 let pp_table ppf rs =
   List.iter (fun r -> Format.fprintf ppf "%a@\n" pp r) rs
+
+type spare_overhead = {
+  logical_rows : int;
+  logical_cols : int;
+  spare_rows : int;
+  spare_cols : int;
+  logical_area_nm2 : float;
+  physical_area_nm2 : float;
+  area_overhead : float;
+}
+
+let spare_overhead ?(tech = Model.diode_tech) ~rows ~cols ~spare_rows
+    ~spare_cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Metrics.spare_overhead: dims";
+  if spare_rows < 0 || spare_cols < 0 then
+    invalid_arg "Metrics.spare_overhead: spares";
+  let area r c =
+    float_of_int r *. tech.Model.pitch_nm
+    *. (float_of_int c *. tech.Model.pitch_nm)
+  in
+  let logical = area rows cols in
+  let physical = area (rows + spare_rows) (cols + spare_cols) in
+  { logical_rows = rows;
+    logical_cols = cols;
+    spare_rows;
+    spare_cols;
+    logical_area_nm2 = logical;
+    physical_area_nm2 = physical;
+    area_overhead = (physical -. logical) /. logical }
+
+let pp_spare_overhead ppf o =
+  Format.fprintf ppf
+    "%dx%d + %d/%d spares: area %.0f -> %.0f nm^2 (+%.1f%%)"
+    o.logical_rows o.logical_cols o.spare_rows o.spare_cols
+    o.logical_area_nm2 o.physical_area_nm2 (100.0 *. o.area_overhead)

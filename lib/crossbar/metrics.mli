@@ -42,3 +42,31 @@ val fet : ?tech:Model.tech -> Fet.t -> report
 val pp : Format.formatter -> report -> unit
 
 val pp_table : Format.formatter -> report list -> unit
+
+(** {2 Spare-line area overhead}
+
+    A repairable crossbar (see {!Nxc_reliability.Bira}) fabricates
+    [spare_rows]/[spare_cols] extra lines.  The overhead report prices
+    that redundancy: how much silicon the spare capacity costs relative
+    to the logical array alone, in the same pitch-squared area model as
+    {!of_dims}. *)
+
+type spare_overhead = {
+  logical_rows : int;
+  logical_cols : int;
+  spare_rows : int;
+  spare_cols : int;
+  logical_area_nm2 : float;
+  physical_area_nm2 : float;
+  area_overhead : float;
+      (** [(physical - logical) / logical]; [0.] with no spares *)
+}
+
+val spare_overhead :
+  ?tech:Model.tech ->
+  rows:int -> cols:int -> spare_rows:int -> spare_cols:int -> unit ->
+  spare_overhead
+(** @raise Invalid_argument on non-positive logical dimensions or
+    negative spare counts. *)
+
+val pp_spare_overhead : Format.formatter -> spare_overhead -> unit

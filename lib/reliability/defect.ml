@@ -10,6 +10,46 @@ type profile = {
   cluster_radius : float;
 }
 
+(* A malformed profile would not crash generation — it would silently
+   produce a nonsense map (negative Bernoulli probabilities never fire,
+   fractions over 1 skew the kind split, ...).  Reject it up front with
+   a typed error so the service/CLI layers can answer exit 3. *)
+let validate_profile p =
+  let module E = Nxc_guard.Error in
+  let unit_interval name v =
+    if Float.is_nan v || v < 0.0 || v > 1.0 then
+      Some (E.invalid_inputf "defect profile: %s %g not in [0, 1]" name v)
+    else None
+  in
+  let problem =
+    match unit_interval "density" p.density with
+    | Some _ as e -> e
+    | None -> (
+        match unit_interval "frac_open" p.frac_open with
+        | Some _ as e -> e
+        | None -> (
+            match unit_interval "frac_closed" p.frac_closed with
+            | Some _ as e -> e
+            | None ->
+                if p.frac_open +. p.frac_closed > 1.0 then
+                  Some
+                    (E.invalid_inputf
+                       "defect profile: frac_open + frac_closed = %g exceeds 1"
+                       (p.frac_open +. p.frac_closed))
+                else if p.clusters < 0 then
+                  Some
+                    (E.invalid_inputf "defect profile: clusters %d negative"
+                       p.clusters)
+                else if Float.is_nan p.cluster_radius || p.cluster_radius < 0.0
+                then
+                  Some
+                    (E.invalid_inputf
+                       "defect profile: cluster_radius %g negative"
+                       p.cluster_radius)
+                else None))
+  in
+  match problem with Some e -> Error e | None -> Ok p
+
 let uniform density =
   { density; frac_open = 0.80; frac_closed = 0.15; clusters = 0;
     cluster_radius = 0.0 }
@@ -25,8 +65,7 @@ let pick_kind rng p =
 
 let m_chips = Nxc_obs.Metrics.counter "defect.chips_generated"
 
-let generate rng ~rows ~cols p =
-  if rows <= 0 || cols <= 0 then invalid_arg "Defect.generate";
+let generate_unchecked rng ~rows ~cols p =
   Nxc_obs.Metrics.incr m_chips;
   let map = Array.make_matrix rows cols None in
   if p.clusters = 0 then
@@ -60,6 +99,22 @@ let generate rng ~rows ~cols p =
     done
   end;
   { rows; cols; map }
+
+let generate_result rng ~rows ~cols p =
+  if rows <= 0 || cols <= 0 then
+    Error
+      (Nxc_guard.Error.invalid_inputf "defect map: %dx%d is not a chip" rows
+         cols)
+  else
+    match validate_profile p with
+    | Error e -> Error e
+    | Ok p -> Ok (generate_unchecked rng ~rows ~cols p)
+
+let generate rng ~rows ~cols p =
+  if rows <= 0 || cols <= 0 then invalid_arg "Defect.generate";
+  match validate_profile p with
+  | Ok p -> generate_unchecked rng ~rows ~cols p
+  | Error e -> invalid_arg ("Defect.generate: " ^ Nxc_guard.Error.to_string e)
 
 let rows t = t.rows
 let cols t = t.cols

@@ -144,6 +144,34 @@ let exact_max ?(budget = 2_000_000) ?guard chip =
   let g = greedy_max chip in
   if recovered_k g > recovered_k !best then g else !best
 
+(* Repair-then-extract: spend the spare lines first (BIRA/BISR), and
+   only fall back to sacrificial greedy extraction when repair fails.
+   A successful repair leaves the whole logical array usable, so the
+   extraction step is an index prefix, not a search. *)
+let repair_then_extract ?guard ?mode chip ~spare_rows ~spare_cols ~k =
+  let guard = Guard.Budget.resolve guard in
+  let rows = Defect.rows chip - spare_rows
+  and cols = Defect.cols chip - spare_cols in
+  if spare_rows < 0 || spare_cols < 0 || rows <= 0 || cols <= 0 then
+    invalid_arg "Defect_flow.repair_then_extract: spares";
+  if k <= 0 || k > min rows cols then
+    invalid_arg "Defect_flow.repair_then_extract: k";
+  let fallback () =
+    Guard.Budget.degrade "repair_to_extract";
+    extract chip ~k
+  in
+  match Bira.analyze ~guard ?mode chip ~spare_rows ~spare_cols with
+  | Error _ -> fallback ()
+  | Ok sol -> (
+      match Bisr.build chip ~rows ~cols sol with
+      | Error _ -> fallback ()
+      | Ok remap ->
+          let sel =
+            { sel_rows = Array.sub remap.Bisr.row_map 0 k;
+              sel_cols = Array.sub remap.Bisr.col_map 0 k }
+          in
+          if is_defect_free chip sel then Some sel else fallback ())
+
 type cost = {
   flow : string;
   map_entries_per_chip : int;

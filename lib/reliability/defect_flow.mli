@@ -36,6 +36,23 @@ val exact_max : ?budget:int -> ?guard:Nxc_guard.Budget.t -> Defect.t -> selectio
 
 val recovered_k : selection -> int
 
+val repair_then_extract :
+  ?guard:Nxc_guard.Budget.t ->
+  ?mode:Bira.mode ->
+  Defect.t ->
+  spare_rows:int -> spare_cols:int -> k:int ->
+  selection option
+(** Spare-aware extraction: treat the last [spare_rows]/[spare_cols]
+    lines of the chip as redundancy, run {!Bira.analyze} +
+    {!Bisr.build}, and on success return the first [k] remapped
+    rows/columns — a defect-free [k x k] selection obtained without
+    sacrificing any logical line.  When repair fails (unrepairable
+    within the spare budget, or [guard] trips under policy [Fail]) the
+    flow degrades to plain {!extract} over the {e full} physical array,
+    counting a [guard.degrade.repair_to_extract].
+    @raise Invalid_argument when the spare counts are negative, leave
+    no logical array, or [k] exceeds the logical dimensions. *)
+
 (** {2 Flow cost model (Fig. 6)}
 
     Abstract step counts comparing the two flows over a production run

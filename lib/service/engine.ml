@@ -263,6 +263,34 @@ let plan_yield job n density seed trials =
              ("k_at_99", J.Int (at 0.99)) ]))
     ~exit_of:exit_zero
 
+let repair_mode_of_string = function
+  | "greedy" -> R.Bira.Greedy
+  | _ -> R.Bira.Exact
+
+let plan_repair job rows cols spare_rows spare_cols density seed trials mode =
+  plan_sim job
+    (fun () ->
+      let mc, _ =
+        R.Bira.monte_carlo (R.Rng.create seed)
+          ~mode:(repair_mode_of_string mode) ~trials ~rows ~cols ~spare_rows
+          ~spare_cols
+          ~profile:(R.Defect.uniform density)
+      in
+      let overhead =
+        Nxc_crossbar.Metrics.spare_overhead ~rows ~cols ~spare_rows ~spare_cols
+          ()
+      in
+      Ok
+        (J.Obj
+           [ ("repaired", J.Int mc.R.Bira.mc_repaired);
+             ("trials", J.Int trials);
+             ("avg_spares", J.Float mc.R.Bira.mc_avg_spares);
+             ("must_lines", J.Int mc.R.Bira.mc_must_lines);
+             ("degraded_trials", J.Int mc.R.Bira.mc_degraded);
+             ( "area_overhead",
+               J.Float overhead.Nxc_crossbar.Metrics.area_overhead ) ]))
+    ~exit_of:exit_zero
+
 let plan (job : Job.t) =
   match job.Job.spec with
   | Job.Synth { expr } -> plan_synth job expr
@@ -271,6 +299,9 @@ let plan (job : Job.t) =
   | Job.Bism { n; k; density; seed; trials; scheme } ->
       plan_bism job n k density seed trials scheme
   | Job.Yield { n; density; seed; trials } -> plan_yield job n density seed trials
+  | Job.Repair { rows; cols; spare_rows; spare_cols; density; seed; trials;
+                 mode } ->
+      plan_repair job rows cols spare_rows spare_cols density seed trials mode
 
 (* ------------------------------------------------------------------ *)
 (* envelopes                                                           *)

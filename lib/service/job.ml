@@ -17,6 +17,16 @@ type spec =
       scheme : string;
     }
   | Yield of { n : int; density : float; seed : int; trials : int }
+  | Repair of {
+      rows : int;
+      cols : int;
+      spare_rows : int;
+      spare_cols : int;
+      density : float;
+      seed : int;
+      trials : int;
+      mode : string;
+    }
 
 type t = { id : string option; budget_steps : int option; spec : spec }
 
@@ -27,6 +37,7 @@ let kind t =
   | Bist _ -> "bist"
   | Bism _ -> "bism"
   | Yield _ -> "yield"
+  | Repair _ -> "repair"
 
 (* ------------------------------------------------------------------ *)
 (* parsing                                                             *)
@@ -59,6 +70,11 @@ let int_d kvs key default = Option.value ~default (int_opt kvs key)
 let pos_int_d kvs key default =
   let v = int_d kvs key default in
   if v <= 0 then bad "job spec: %S must be positive" key;
+  v
+
+let nonneg_int_d kvs key default =
+  let v = int_d kvs key default in
+  if v < 0 then bad "job spec: %S must be non-negative" key;
   v
 
 let float_d kvs key default =
@@ -132,7 +148,29 @@ let of_json json =
             { n = pos_int_d kvs "n" 32;
               density = density_d kvs "density" 0.05;
               seed = int_d kvs "seed" 1; trials = pos_int_d kvs "trials" 40 }
-      | k -> bad "job spec: unknown kind %S (have: synth, flow, bist, bism, yield)" k
+      | "repair" ->
+          check_known kvs
+            ("rows" :: "cols" :: "spare_rows" :: "spare_cols" :: "density"
+            :: "seed" :: "trials" :: "mode" :: common);
+          let mode =
+            match get kvs "mode" with
+            | None -> "exact"
+            | Some (J.Str (("exact" | "greedy") as s)) -> s
+            | Some (J.Str s) -> bad "job spec: unknown repair mode %S" s
+            | Some _ -> bad "job spec: \"mode\" must be a string"
+          in
+          Repair
+            { rows = pos_int_d kvs "rows" 12; cols = pos_int_d kvs "cols" 12;
+              spare_rows = nonneg_int_d kvs "spare_rows" 2;
+              spare_cols = nonneg_int_d kvs "spare_cols" 2;
+              density = density_d kvs "density" 0.05;
+              seed = int_d kvs "seed" 42; trials = pos_int_d kvs "trials" 20;
+              mode }
+      | k ->
+          bad
+            "job spec: unknown kind %S (have: synth, flow, bist, bism, yield, \
+             repair)"
+            k
     in
     Ok { id; budget_steps; spec }
   with Bad e -> Error e
@@ -161,6 +199,12 @@ let spec_fields = function
   | Yield { n; density; seed; trials } ->
       [ ("kind", J.Str "yield"); ("n", J.Int n); ("density", J.Float density);
         ("seed", J.Int seed); ("trials", J.Int trials) ]
+  | Repair { rows; cols; spare_rows; spare_cols; density; seed; trials; mode }
+    ->
+      [ ("kind", J.Str "repair"); ("rows", J.Int rows); ("cols", J.Int cols);
+        ("spare_rows", J.Int spare_rows); ("spare_cols", J.Int spare_cols);
+        ("density", J.Float density); ("seed", J.Int seed);
+        ("trials", J.Int trials); ("mode", J.Str mode) ]
 
 let budget_field t =
   match t.budget_steps with

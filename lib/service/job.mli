@@ -17,6 +17,8 @@
  {"kind":"bism",  "n":32, "k":12, "density":0.05, "seed":42,
                   "trials":20, "scheme":"hybrid"}
  {"kind":"yield", "n":32, "density":0.05, "seed":1, "trials":40}
+ {"kind":"repair","rows":12, "cols":12, "spare_rows":2, "spare_cols":2,
+                  "density":0.05, "seed":42, "trials":20, "mode":"exact"}
     v}
 
     Parsing is strict — unknown fields, wrong types and out-of-range
@@ -36,6 +38,17 @@ type spec =
       scheme : string;  (** ["blind"], ["greedy"] or ["hybrid"] *)
     }
   | Yield of { n : int; density : float; seed : int; trials : int }
+  | Repair of {
+      rows : int;  (** logical array dimensions; the fabricated chip is
+                       [(rows+spare_rows) x (cols+spare_cols)] *)
+      cols : int;
+      spare_rows : int;  (** non-negative spare budgets *)
+      spare_cols : int;
+      density : float;
+      seed : int;
+      trials : int;
+      mode : string;  (** ["exact"] or ["greedy"] *)
+    }
 
 type t = { id : string option; budget_steps : int option; spec : spec }
 

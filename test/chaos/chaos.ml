@@ -180,6 +180,63 @@ let extraction () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* BIRA spare allocation under budget exhaustion                       *)
+(* ------------------------------------------------------------------ *)
+
+let repair () =
+  let degrade_counter () =
+    Nxc_obs.Metrics.counter_value
+      (Nxc_obs.Metrics.counter "guard.degrade.bira_exact_to_greedy")
+  in
+  for i = 1 to 30 * factor do
+    let side = 4 + Random.State.int rand 8 in
+    let spare_rows = Random.State.int rand 4
+    and spare_cols = Random.State.int rand 4 in
+    let chip =
+      R.Defect.generate
+        (R.Rng.create (seed + (13 * i)))
+        ~rows:(side + spare_rows) ~cols:(side + spare_cols)
+        (R.Defect.uniform (Random.State.float rand 0.3))
+    in
+    let policy =
+      if Random.State.bool rand then G.Budget.Degrade else G.Budget.Fail
+    in
+    (* steps starve the exact search; an occasional already-expired
+       deadline exercises the wall-clock path of the same contract *)
+    let guard =
+      if i mod 5 = 0 then
+        G.Budget.create ~label:"chaos" ~policy ~deadline_ms:0.0 ()
+      else
+        G.Budget.create ~label:"chaos" ~policy
+          ~steps:(Random.State.int rand 50)
+          ()
+    in
+    case "bira" (fun () ->
+        let before = degrade_counter () in
+        match R.Bira.analyze ~guard chip ~spare_rows ~spare_cols with
+        | Ok sol ->
+            (* no partial repair may escape: the remap the solution
+               induces must exist and pass the BIST oracle *)
+            (match R.Bisr.build chip ~rows:side ~cols:side sol with
+            | Ok remap ->
+                if not (R.Bisr.defect_free chip remap) then
+                  fail "bira: solution remap not defect-free (side=%d)" side
+            | Error e ->
+                fail "bira: solution does not remap: %s" (G.Error.to_string e));
+            if sol.R.Bira.degraded then begin
+              if policy = G.Budget.Fail then
+                fail "bira: degraded result under Fail policy";
+              if degrade_counter () <= before then
+                fail "bira: degradation not counted"
+            end
+        | Error (`Unsat _) -> ()
+        | Error (`Budget_exhausted _) ->
+            if policy <> G.Budget.Fail then
+              fail "bira: budget error under Degrade policy"
+        | Error e -> fail "bira: wrong error kind %s" (G.Error.to_string e))
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Determinism: same seed + same budget -> identical outcome           *)
 (* ------------------------------------------------------------------ *)
 
@@ -222,6 +279,7 @@ let () =
   degenerate_tables ();
   hostile_chips ();
   extraction ();
+  repair ();
   determinism ();
   adversarial_qm ();
   let dt = Unix.gettimeofday () -. t0 in

@@ -30,6 +30,9 @@ README.md (CLI contract section) in the same commit.
          pla [OPTION]… FILE
              synthesize every output of a Berkeley PLA file
   
+         repair [OPTION]…
+             BIRA/BISR spare-repair experiment
+  
          serve [OPTION]…
              long-lived worker: read one JSON job spec per stdin line, answer
              with one result envelope per stdout line

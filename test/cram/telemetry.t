@@ -30,10 +30,10 @@ survive the failure:
   [3]
   $ sed -E 's/"t_ns":[0-9]+/"t_ns":T/g' flight.jsonl
   {"t_ns":T,"level":"debug","event":"service.job","id":"a","kind":"synth","exit":0,"cached":false}
-  {"t_ns":T,"level":"error","event":"service.error","id":null,"kind":null,"exit":3,"error":"invalid input: job spec: unknown kind \"warp\" (have: synth, flow, bist, bism, yield)"}
+  {"t_ns":T,"level":"error","event":"service.error","id":null,"kind":null,"exit":3,"error":"invalid input: job spec: unknown kind \"warp\" (have: synth, flow, bist, bism, yield, repair)"}
   {"t_ns":T,"level":"error","event":"flight.dump","reason":"batch exit 3","entries":2}
   {"seq":0,"t_ns":T,"kind":"event","name":"service.job","data":{"level":"debug","id":"a","kind":"synth","exit":0,"cached":false}}
-  {"seq":1,"t_ns":T,"kind":"event","name":"service.error","data":{"level":"error","id":null,"kind":null,"exit":3,"error":"invalid input: job spec: unknown kind \"warp\" (have: synth, flow, bist, bism, yield)"}}
+  {"seq":1,"t_ns":T,"kind":"event","name":"service.error","data":{"level":"error","id":null,"kind":null,"exit":3,"error":"invalid input: job spec: unknown kind \"warp\" (have: synth, flow, bist, bism, yield, repair)"}}
 
 Without --log (or the env var) a failing batch writes nothing extra —
 stderr stays byte-stable for scripted callers:

@@ -154,6 +154,59 @@ let defect_tests =
         check_int "original untouched" 0 (Defect.count m);
         check_int "updated has one" 1 (Defect.count m');
         check "kind" true (Defect.kind_at m' 1 2 = Some Defect.Stuck_open));
+    Alcotest.test_case "profile validation edges" `Quick (fun () ->
+        let ok p = Result.is_ok (Defect.validate_profile p) in
+        let bad p =
+          match Defect.validate_profile p with
+          | Error (`Invalid_input _) -> true
+          | Error _ | Ok _ -> false
+        in
+        (* the closed endpoints of every range are legal *)
+        check "density 0" true (ok (Defect.uniform 0.0));
+        check "density 1" true (ok (Defect.uniform 1.0));
+        check "fractions may sum to exactly 1" true
+          (ok { (Defect.uniform 0.1) with Defect.frac_open = 0.6;
+                frac_closed = 0.4 });
+        check "zero clusters, zero radius" true
+          (ok { (Defect.uniform 0.1) with Defect.clusters = 0;
+                cluster_radius = 0.0 });
+        (* one step outside each range is a typed invalid-input *)
+        check "density above 1" true (bad (Defect.uniform 1.5));
+        check "density below 0" true (bad (Defect.uniform (-0.01)));
+        check "density NaN" true (bad (Defect.uniform Float.nan));
+        check "frac_open above 1" true
+          (bad { (Defect.uniform 0.1) with Defect.frac_open = 1.01 });
+        check "frac_closed negative" true
+          (bad { (Defect.uniform 0.1) with Defect.frac_closed = -0.2 });
+        check "fractions summing past 1" true
+          (bad { (Defect.uniform 0.1) with Defect.frac_open = 0.7;
+                 frac_closed = 0.5 });
+        check "negative clusters" true
+          (bad { (Defect.uniform 0.1) with Defect.clusters = -1 });
+        check "negative cluster radius" true
+          (bad { (Defect.uniform 0.1) with Defect.cluster_radius = -0.5 });
+        check "NaN cluster radius" true
+          (bad { (Defect.uniform 0.1) with Defect.cluster_radius = Float.nan }));
+    Alcotest.test_case "generate rejects what validation rejects" `Quick
+      (fun () ->
+        (match
+           Defect.generate_result (Rng.create 1) ~rows:8 ~cols:8
+             (Defect.uniform 2.0)
+         with
+        | Error (`Invalid_input _) -> ()
+        | Error _ | Ok _ -> Alcotest.fail "expected `Invalid_input");
+        (match
+           Defect.generate_result (Rng.create 1) ~rows:0 ~cols:8
+             (Defect.uniform 0.1)
+         with
+        | Error (`Invalid_input _) -> ()
+        | Error _ | Ok _ -> Alcotest.fail "expected `Invalid_input on dims");
+        check "raising variant raises" true
+          (match
+             Defect.generate (Rng.create 1) ~rows:8 ~cols:8 (Defect.uniform 2.0)
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
   ]
 
 (* ------------------------------------------------------------------ *)

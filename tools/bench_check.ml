@@ -11,6 +11,11 @@
      word-parallel kernel must actually beat the scalar BFS;
    - a LOADGEN experiment must publish a finite, positive [warm_p99_ms]
      — the SLO quantile pipeline must actually produce numbers;
+   - an E17 (repair) experiment must keep [min_margin_vs_blind >= 0] —
+     exact BIRA searches the same feasibility space blind BISM samples,
+     so repair success may never fall below blind at a matched density
+     and spare budget — and must publish a finite positive
+     [max_area_overhead] (spares are never free);
    - a SERVICE experiment must keep [warm_hit_rate >= 0.95] — a warm
      rerun of the job mix must resolve (almost) everything from the
      cache.
@@ -83,6 +88,30 @@ let () =
              else
                fail "LOADGEN: warm p99 is not a finite positive time (%s)"
                  (J.to_string v));
+      (if id = "E17" then begin
+         (match field "min_margin_vs_blind" with
+         | None -> fail "E17: no min_margin_vs_blind in headline"
+         | Some v ->
+             let m = num v in
+             if m >= 0.0 then
+               Printf.printf "bench_check: %-9s repair margin vs blind %+d\n"
+                 id (int_of_float m)
+             else
+               fail
+                 "E17: repair success fell below blind BISM at a matched \
+                  cell (min_margin_vs_blind = %s)"
+                 (J.to_string v));
+         match field "max_area_overhead" with
+         | None -> fail "E17: no max_area_overhead in headline"
+         | Some v ->
+             let o = num v in
+             if Float.is_finite o && o > 0.0 then
+               Printf.printf "bench_check: %-9s max area overhead %.0f%%\n" id
+                 (100.0 *. o)
+             else
+               fail "E17: spare area overhead is not finite positive (%s)"
+                 (J.to_string v)
+       end);
       if id = "SERVICE" then
         match field "warm_hit_rate" with
         | None -> fail "SERVICE: no warm_hit_rate in headline"
