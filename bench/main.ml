@@ -1172,13 +1172,71 @@ let e_bitslice () =
        per_n
 
 (* ------------------------------------------------------------------ *)
+(* BISTSLICE: word-parallel BIST syndrome collection vs scalar sweep   *)
+(* ------------------------------------------------------------------ *)
+
+let e_bistslice () =
+  section "BISTSLICE" "bit-sliced BIST syndrome sweep vs per-vector scalar";
+  let time f =
+    let t0 = Obs.Clock.now_ns () in
+    let v = f () in
+    (v, Obs.Clock.ns_to_ms (Obs.Clock.now_ns () - t0))
+  in
+  Format.printf
+    "full-universe syndrome sweep (every fault's failing (config, vector) \
+     pairs), per-vector scalar evaluation vs one packed kernel pass per \
+     configuration:@.@.";
+  Format.printf "%-8s %8s %9s %12s %12s %9s@." "array" "faults" "vectors"
+    "scalar ms" "packed ms" "speedup";
+  let identical = ref true and min_speedup = ref infinity in
+  let per_shape =
+    List.map
+      (fun (m, n) ->
+        let plan = R.Bist.plan ~rows:m ~cols:n in
+        let universe = R.Fault_model.universe ~rows:m ~cols:n in
+        let scalar, scalar_ms =
+          time (fun () -> List.map (R.Bist.syndrome_scalar plan) universe)
+        in
+        let packed, packed_ms =
+          time (fun () ->
+              let pd = R.Bist.pack plan in
+              List.map (R.Bist.syndrome_packed pd) universe)
+        in
+        let ok = scalar = packed in
+        identical := !identical && ok;
+        let speedup = scalar_ms /. packed_ms in
+        if speedup < !min_speedup then min_speedup := speedup;
+        Format.printf "%2dx%-5d %8d %9d %12.1f %12.2f %8.0fx@." m n
+          (List.length universe) (R.Bist.num_vectors plan) scalar_ms packed_ms
+          speedup;
+        (m, n, scalar_ms, packed_ms, speedup))
+      [ (8, 8); (16, 16); (16, 48) ]
+  in
+  Format.printf
+    "@.identical syndromes from both paths: %b (pack asserts plan soundness \
+     once; the scalar path re-asserts it per vector visit)@."
+    !identical;
+  (* both halves of the contract: bit-identical syndromes, real speedup *)
+  assert !identical;
+  assert (!min_speedup >= 4.0);
+  ("identical", J.Bool !identical)
+  :: ("min_speedup", J.Float !min_speedup)
+  :: List.concat_map
+       (fun (m, n, s_ms, p_ms, sp) ->
+         let tag suffix = Printf.sprintf "b%dx%d_%s" m n suffix in
+         [ (tag "scalar_ms", J.Float s_ms);
+           (tag "packed_ms", J.Float p_ms);
+           (tag "speedup", J.Float sp) ])
+       per_shape
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("PAR", e_par); ("SERVICE", e_service); ("LOADGEN", e_loadgen);
-    ("BITSLICE", e_bitslice); ("TIMING", timing) ]
+    ("BITSLICE", e_bitslice); ("BISTSLICE", e_bistslice); ("TIMING", timing) ]
 
 (* Run one experiment under a wall-clock timer with a fresh metrics
    registry, and capture the headline numbers plus the metric snapshot. *)

@@ -45,4 +45,31 @@ val eval_int : t -> int -> bool
 
 val eval : t -> bool array -> bool
 
+(** {2 Word-parallel batch evaluation}
+
+    Bit-sliced kernels in the {!Nxc_logic.Bitslice} layout: one input
+    assignment (or one caller-supplied vector) per bit, packed into
+    native-int words, so a single word pass evaluates up to
+    [Bitslice.word_bits] assignments.  Results are bit-identical to the
+    scalar {!eval} / {!eval_int} path — asserted by the property tests.
+
+    Both kernels are {e scratch-stateless}: a scratch may be reused
+    across calls with any crossbar shapes and arities and results never
+    depend on prior contents.  When no scratch is given they use the
+    calling domain's {!Model.domain_scratch}, so hot loops stay
+    allocation-free and seeded parallel sweeps under [Nxc_par] remain
+    deterministic. *)
+
+val eval_all : ?scratch:Model.scratch -> ?n_vars:int -> t -> Nxc_logic.Truth_table.t
+(** The full truth table of the crossbar over [n_vars] inputs (default
+    {!n_vars}) in one batched sweep — the diode analogue of
+    [Lattice.eval_all].  Variables beyond [n_vars] read as 0, matching
+    the scalar path on minterms below [2^n_vars]. *)
+
+val eval_vectors : ?scratch:Model.scratch -> t -> bool array array -> Nxc_logic.Bitvec.t
+(** [eval_vectors x vectors] evaluates a caller-supplied vector block:
+    bit [j] of the result is [eval x vectors.(j)].  Each vector must
+    have length {!n_vars}; raises [Invalid_argument] otherwise.  The
+    result is normalized (bits at or beyond the block size are 0). *)
+
 val pp : Format.formatter -> t -> unit

@@ -57,4 +57,27 @@ val eval_int : t -> int -> bool
 
 val eval : t -> bool array -> bool
 
+(** {2 Word-parallel batch evaluation}
+
+    Bit-sliced kernels in the {!Nxc_logic.Bitslice} layout, mirroring
+    {!Diode.eval_all}: one assignment (or caller vector) per bit, one
+    conduction word per gate line, series chains as word-ANDs and the
+    two networks as word-ORs.  Complementarity is asserted word-wise —
+    the batched form of {!eval_int}'s per-assignment assert — and
+    results are bit-identical to the scalar path.
+
+    Scratch-stateless and [Domain.DLS]-backed exactly like the diode
+    kernels: reuse one scratch across any shapes, or omit it and get
+    the per-domain instance (safe under [Nxc_par]). *)
+
+val eval_all : ?scratch:Model.scratch -> ?n_vars:int -> t -> Nxc_logic.Truth_table.t
+(** Full truth table over [n_vars] inputs (default {!n_vars}) in one
+    batched sweep.  Variables beyond [n_vars] read as 0, matching the
+    scalar path on minterms below [2^n_vars]. *)
+
+val eval_vectors : ?scratch:Model.scratch -> t -> bool array array -> Nxc_logic.Bitvec.t
+(** [eval_vectors x vectors]: bit [j] of the result is
+    [eval x vectors.(j)].  Vectors must have length {!n_vars}
+    ([Invalid_argument] otherwise); the result is normalized. *)
+
 val pp : Format.formatter -> t -> unit

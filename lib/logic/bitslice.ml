@@ -22,6 +22,14 @@ let lowest_set x =
   if x = 0 then invalid_arg "Bitslice.lowest_set";
   popcount ((x land -x) - 1)
 
+let iter_set x f =
+  let rest = ref x in
+  while !rest <> 0 do
+    let bit = !rest land - !rest in
+    f (popcount (bit - 1));
+    rest := !rest lxor bit
+  done
+
 let fill_const ws ~len b =
   let nw = words_for len in
   if nw > 0 then begin

@@ -33,6 +33,13 @@ val lowest_set : int -> int
 (** Bit offset of the least-significant set bit.
     @raise Invalid_argument on [0]. *)
 
+val iter_set : int -> (int -> unit) -> unit
+(** [iter_set w f] calls [f] on the offset of every set bit of [w] in
+    ascending order.  The workhorse of word-level syndrome extraction:
+    a kernel XORs expected against observed words and only the (rare)
+    non-zero result pays a per-bit visit, so the common all-match case
+    costs one comparison per word. *)
+
 val fill_const : int array -> len:int -> bool -> unit
 (** Fill the first [words_for len] words with the constant bit,
     normalizing the tail. *)

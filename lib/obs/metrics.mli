@@ -4,8 +4,9 @@
     Naming scheme: ["<namespace>.<metric>"] — all segments lowercase
     [a-z0-9_], starting with a letter, joined by dots.  The namespace is
     the subsystem that owns the instrument and must be one of: [bira],
-    [bism], [bisr], [bist], [bitslice], [defect], [espresso], [flow],
-    [guard], [isop], [lattice], [loadgen], [minimize], [montecarlo],
+    [bism], [bisr], [bist], [bitslice], [defect], [espresso],
+    [fault_model], [flow], [guard], [isop], [lattice], [loadgen],
+    [minimize], [montecarlo],
     [npn], [par], [qm], [service], [synth] (plus [test] for instruments
     created by the test suite itself).  {!valid_name} checks a name against this scheme and
     the namespace-lint test enforces it for every instrument registered

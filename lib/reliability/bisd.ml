@@ -3,7 +3,9 @@ module Fm = Fault_model
 type location = { cand_rows : int list; cand_cols : int list }
 
 let diagnose plan ~universe ~syndrome =
-  List.filter (fun f -> Bist.syndrome plan f = syndrome) universe
+  (* pack once: the sweep below replays the whole plan per candidate *)
+  let pd = Bist.pack plan in
+  List.filter (fun f -> Bist.syndrome_packed pd f = syndrome) universe
 
 let config_kind plan ci = (List.nth plan.Bist.configs ci).Bist.kind
 
@@ -91,4 +93,6 @@ let num_group_configs plan =
        (fun tc -> match tc.Bist.kind with Bist.Group _ -> true | _ -> false)
        plan.Bist.configs)
 
-let distinguishable plan f1 f2 = Bist.syndrome plan f1 <> Bist.syndrome plan f2
+let distinguishable plan f1 f2 =
+  let pd = Bist.pack plan in
+  Bist.syndrome_packed pd f1 <> Bist.syndrome_packed pd f2

@@ -24,10 +24,10 @@ type stats = {
 type mapping = { row_map : int array; col_map : int array }
 
 let mapping_defect_free chip mapping =
-  Array.for_all
-    (fun pr ->
-      Array.for_all (fun pc -> not (Defect.is_defective chip pr pc)) mapping.col_map)
-    mapping.row_map
+  (* word-parallel cross-product probe; equivalent to for_all over
+     [Defect.is_defective] on every (row, col) pair of the mapping *)
+  Defect.selection_defect_free chip ~sel_rows:mapping.row_map
+    ~sel_cols:mapping.col_map
 
 let defective_cells chip mapping =
   let acc = ref [] in

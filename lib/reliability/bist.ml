@@ -126,7 +126,11 @@ let num_configs p = List.length p.configs
 let num_vectors p =
   List.fold_left (fun acc tc -> acc + List.length tc.tests) 0 p.configs
 
-let syndrome p fault =
+(* Scalar reference path: one [Fm.eval] per (configuration, vector,
+   fault) triple, re-asserting plan soundness on every visit.  Kept
+   verbatim as the differential-testing oracle for the packed kernel
+   (the BISTSLICE bench and the qcheck suite both replay it). *)
+let syndrome_scalar p fault =
   Obs.Metrics.incr m_syndromes;
   let acc = ref [] in
   List.iteri
@@ -141,13 +145,125 @@ let syndrome p fault =
     p.configs;
   List.rev !acc
 
-let detects p fault = syndrome p fault <> []
+(* ------------------------------------------------------------------ *)
+(* Packed plans: the word-parallel hot path.                           *)
+(*                                                                     *)
+(* [pack] fixes each configuration's vector set into a word-packed     *)
+(* [Fm.block] plus expectation words (bit lane = vector index), and    *)
+(* asserts plan soundness once — the fault-free kernel run must equal  *)
+(* the expectations — instead of once per (fault, vector) visit.  A    *)
+(* syndrome then costs one [Fm.eval_block] per configuration; the      *)
+(* failing (config, vector) pairs fall out of XOR-ing observed against *)
+(* expected words and walking the set bits in ascending lane order,    *)
+(* which reproduces the scalar visit order bit for bit.                *)
+(* ------------------------------------------------------------------ *)
+
+let m_packs = Obs.Metrics.counter "bist.packs"
+
+type packed_config = {
+  pk_cfg : Fm.config;
+  pk_block : Fm.block;
+  pk_expected : int array;
+  pk_words : int;
+}
+
+type packed = {
+  pk_plan : plan;
+  pk_configs : packed_config array;
+  pk_max_words : int;
+}
+
+module Bitslice = Nxc_logic.Bitslice
+
+(* per-domain observation buffer so a syndrome sweep never allocates *)
+type syn_scratch = { mutable obs : int array }
+
+let syn_key = Domain.DLS.new_key (fun () -> { obs = [||] })
+
+let obs_buffer nw =
+  let s = Domain.DLS.get syn_key in
+  if Array.length s.obs < nw then s.obs <- Array.make nw 0;
+  s.obs
+
+let pack p =
+  Obs.Metrics.incr m_packs;
+  let pack_config tc =
+    let vectors = Array.of_list (List.map (fun t -> t.vector) tc.tests) in
+    let block = Fm.pack_vectors ~cols:tc.config.Fm.cols vectors in
+    let nw = Fm.block_words block in
+    let expected = Array.make (max nw 1) 0 in
+    List.iteri
+      (fun vi t ->
+        if t.expected then
+          expected.(vi / Bitslice.word_bits) <-
+            expected.(vi / Bitslice.word_bits)
+            lor (1 lsl (vi mod Bitslice.word_bits)))
+      tc.tests;
+    (* the plan itself must be sound on a fault-free array — asserted
+       once per pack instead of once per (fault, vector) visit *)
+    let obs = obs_buffer (max nw 1) in
+    Fm.eval_block ~faults:[] tc.config block ~into:obs;
+    for w = 0 to nw - 1 do
+      assert (obs.(w) = expected.(w))
+    done;
+    { pk_cfg = tc.config; pk_block = block; pk_expected = expected;
+      pk_words = nw }
+  in
+  let configs = Array.of_list (List.map pack_config p.configs) in
+  { pk_plan = p;
+    pk_configs = configs;
+    pk_max_words =
+      Array.fold_left (fun acc pc -> max acc pc.pk_words) 1 configs }
+
+let packed_plan pd = pd.pk_plan
+
+let syndrome_multi_packed pd faults =
+  Obs.Metrics.incr m_syndromes;
+  let obs = obs_buffer pd.pk_max_words in
+  let acc = ref [] in
+  Array.iteri
+    (fun ci pc ->
+      Fm.eval_block ~faults pc.pk_cfg pc.pk_block ~into:obs;
+      for w = 0 to pc.pk_words - 1 do
+        let diff = obs.(w) lxor pc.pk_expected.(w) in
+        if diff <> 0 then
+          Bitslice.iter_set diff (fun b ->
+              acc := (ci, (w * Bitslice.word_bits) + b) :: !acc)
+      done)
+    pd.pk_configs;
+  List.rev !acc
+
+let syndrome_packed pd fault = syndrome_multi_packed pd [ fault ]
+
+let detects_multi_packed pd faults =
+  let obs = obs_buffer pd.pk_max_words in
+  let found = ref false in
+  (try
+     Array.iter
+       (fun pc ->
+         Fm.eval_block ~faults pc.pk_cfg pc.pk_block ~into:obs;
+         for w = 0 to pc.pk_words - 1 do
+           if obs.(w) <> pc.pk_expected.(w) then begin
+             found := true;
+             raise Exit
+           end
+         done)
+       pd.pk_configs
+   with Exit -> ());
+  !found
+
+let detects_packed pd fault = detects_multi_packed pd [ fault ]
+
+let syndrome p fault = syndrome_packed (pack p) fault
+
+let detects p fault = detects_packed (pack p) fault
 
 let coverage p faults =
   Obs.Span.with_ ~name:"bist.coverage"
     ~attrs:(fun () -> [ ("faults", Obs.Json.Int (List.length faults)) ])
   @@ fun () ->
-  let undetected = List.filter (fun f -> not (detects p f)) faults in
+  let pd = pack p in
+  let undetected = List.filter (fun f -> not (detects_packed pd f)) faults in
   let total = List.length faults in
   if total = 0 then (1.0, [])
   else
@@ -163,7 +279,8 @@ let passes p oracle =
 let minimize_vectors p faults =
   (* detection matrix: for every fault, the (config, vector) pairs that
      catch it *)
-  let detecting = List.map (fun f -> (f, syndrome p f)) faults in
+  let pd = pack p in
+  let detecting = List.map (fun f -> (f, syndrome_packed pd f)) faults in
   let detectable = List.filter (fun (_, s) -> s <> []) detecting in
   let kept = Hashtbl.create 64 in
   let remaining = ref detectable in
@@ -204,19 +321,9 @@ let minimize_vectors p faults =
   let p' = { p with configs } in
   (p', before - num_vectors p')
 
-let syndrome_multi p faults =
-  let acc = ref [] in
-  List.iteri
-    (fun ci tc ->
-      List.iteri
-        (fun vi t ->
-          if Fm.eval_multi ~faults tc.config t.vector <> t.expected then
-            acc := (ci, vi) :: !acc)
-        tc.tests)
-    p.configs;
-  List.rev !acc
+let syndrome_multi p faults = syndrome_multi_packed (pack p) faults
 
-let detects_multi p faults = syndrome_multi p faults <> []
+let detects_multi p faults = detects_multi_packed (pack p) faults
 
 let application_universe (cfg : Fm.config) =
   let used_rows = Array.make cfg.Fm.rows false in

@@ -57,7 +57,16 @@ val num_vectors : plan -> int
 val syndrome : plan -> Fault_model.fault -> (int * int) list
 (** Failing [(configuration index, vector index)] pairs of a faulty
     array: positions where the faulty output differs from the fault-free
-    expectation. *)
+    expectation, in ascending order.  Equivalent to
+    [syndrome_packed (pack p)]; sweeps over many faults should {!pack}
+    once and reuse the packed plan. *)
+
+val syndrome_scalar : plan -> Fault_model.fault -> (int * int) list
+(** The scalar reference implementation: one {!Fault_model.eval} per
+    (configuration, vector) pair, re-asserting fault-free soundness at
+    every visit.  Bit-identical to {!syndrome}; kept as the
+    differential-testing oracle for the word-parallel path (the
+    BISTSLICE bench and the property tests replay it). *)
 
 val detects : plan -> Fault_model.fault -> bool
 
@@ -82,6 +91,45 @@ val syndrome_multi : plan -> Fault_model.fault list -> (int * int) list
     ({!Fault_model.eval_multi}). *)
 
 val detects_multi : plan -> Fault_model.fault list -> bool
+
+(** {2 Packed plans}
+
+    The word-parallel hot path.  {!pack} freezes each configuration's
+    vector set into a {!Fault_model.block} (bit lane = vector index)
+    together with word-packed expectations, asserting fault-free
+    soundness once per configuration; a syndrome then costs one
+    {!Fault_model.eval_block} per configuration — up to
+    [Bitslice.word_bits] vectors per word operation — and failing pairs
+    are recovered by XOR-ing observed against expected words and
+    walking set bits in ascending lane order.  Results are bit-identical
+    to the scalar path, including pair ordering.
+
+    A packed plan is immutable and safe to share across domains
+    (syndrome collection uses per-domain scratch), which is what keeps
+    seeded [--jobs N] runs bit-identical.  Packing reflects the plan at
+    the time of the call: re-{!pack} after {!minimize_vectors}. *)
+
+type packed
+(** A plan with every configuration's vectors word-packed. *)
+
+val pack : plan -> packed
+(** Raises [Assert_failure] if the plan is unsound on a fault-free
+    array (a fault-free evaluation must match every expectation). *)
+
+val packed_plan : packed -> plan
+(** The plan [pack] was applied to. *)
+
+val syndrome_packed : packed -> Fault_model.fault -> (int * int) list
+(** Bit-identical to {!syndrome}, without the per-call packing cost. *)
+
+val detects_packed : packed -> Fault_model.fault -> bool
+
+val syndrome_multi_packed :
+  packed -> Fault_model.fault list -> (int * int) list
+(** Bit-identical to {!syndrome_multi}. *)
+
+val detects_multi_packed : packed -> Fault_model.fault list -> bool
+(** Short-circuits on the first failing word. *)
 
 (** {2 Application-dependent testing}
 

@@ -1,6 +1,31 @@
 type kind = Stuck_open | Stuck_closed | Bridge
 
-type t = { rows : int; cols : int; map : kind option array array }
+module Bitslice = Nxc_logic.Bitslice
+
+(* [bits] mirrors [map] as per-row word bitmaps (bit [c] of row [r] set
+   iff the crosspoint is defective) so that selection checks — the BISM
+   oracle probing every (row, col) pair of a candidate mapping — cost
+   one AND per word instead of one probe per crosspoint. *)
+type t = {
+  rows : int;
+  cols : int;
+  map : kind option array array;
+  bits : int array array;
+}
+
+let bits_of_map ~rows:_ ~cols map =
+  let nw = Bitslice.words_for cols in
+  Array.map
+    (fun row ->
+      let words = Array.make nw 0 in
+      Array.iteri
+        (fun c k ->
+          if k <> None then
+            words.(c / Bitslice.word_bits) <-
+              words.(c / Bitslice.word_bits) lor (1 lsl (c mod Bitslice.word_bits)))
+        row;
+      words)
+    map
 
 type profile = {
   density : float;
@@ -98,7 +123,7 @@ let generate_unchecked rng ~rows ~cols p =
       done
     done
   end;
-  { rows; cols; map }
+  { rows; cols; map; bits = bits_of_map ~rows ~cols map }
 
 let generate_result rng ~rows ~cols p =
   if rows <= 0 || cols <= 0 then
@@ -136,13 +161,53 @@ let actual_density t = float_of_int (count t) /. float_of_int (t.rows * t.cols)
 
 let perfect ~rows ~cols =
   if rows <= 0 || cols <= 0 then invalid_arg "Defect.perfect";
-  { rows; cols; map = Array.make_matrix rows cols None }
+  { rows; cols;
+    map = Array.make_matrix rows cols None;
+    bits = Array.make_matrix rows (Bitslice.words_for cols) 0 }
 
 let with_defect t r c k =
   ignore (kind_at t r c);
   let map = Array.map Array.copy t.map in
   map.(r).(c) <- Some k;
-  { t with map }
+  let bits = Array.map Array.copy t.bits in
+  bits.(r).(c / Bitslice.word_bits) <-
+    bits.(r).(c / Bitslice.word_bits) lor (1 lsl (c mod Bitslice.word_bits));
+  { t with map; bits }
+
+let word_cols t = Bitslice.words_for t.cols
+
+let row_words t r =
+  if r < 0 || r >= t.rows then invalid_arg "Defect.row_words";
+  t.bits.(r)
+
+(* per-domain column-mask buffer: selection checks run inside the BISM
+   Monte-Carlo inner loop and must not allocate *)
+type sel_scratch = { mutable mask : int array }
+
+let sel_key = Domain.DLS.new_key (fun () -> { mask = [||] })
+
+let selection_defect_free t ~sel_rows ~sel_cols =
+  let nw = Bitslice.words_for t.cols in
+  let s = Domain.DLS.get sel_key in
+  if Array.length s.mask < nw then s.mask <- Array.make nw 0
+  else Array.fill s.mask 0 nw 0;
+  let mask = s.mask in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= t.cols then invalid_arg "Defect.selection_defect_free";
+      mask.(c / Bitslice.word_bits) <-
+        mask.(c / Bitslice.word_bits) lor (1 lsl (c mod Bitslice.word_bits)))
+    sel_cols;
+  Array.for_all
+    (fun r ->
+      if r < 0 || r >= t.rows then invalid_arg "Defect.selection_defect_free";
+      let bw = t.bits.(r) in
+      let hit = ref 0 in
+      for w = 0 to nw - 1 do
+        hit := !hit lor (bw.(w) land mask.(w))
+      done;
+      !hit = 0)
+    sel_rows
 
 let pp ppf t =
   Format.fprintf ppf "%dx%d defect map, %d defects (%.2f%%)@\n" t.rows t.cols

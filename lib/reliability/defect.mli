@@ -69,4 +69,28 @@ val perfect : rows:int -> cols:int -> t
 val with_defect : t -> int -> int -> kind -> t
 (** Functional update — used by tests to build precise scenarios. *)
 
+(** {2 Word-packed defect bitmaps}
+
+    Each row of the map is mirrored as a word bitmap in the
+    {!Nxc_logic.Bitslice} layout (bit [c] set iff crosspoint [(r, c)]
+    is defective), maintained by every constructor.  Selection checks —
+    the BISM oracle probing all [k_rows x k_cols] crosspoints of a
+    candidate mapping — then cost one AND per word per selected row
+    instead of one probe per crosspoint. *)
+
+val word_cols : t -> int
+(** Words per row bitmap ([Bitslice.words_for (cols t)]). *)
+
+val row_words : t -> int -> int array
+(** [row_words t r] — row [r]'s defect bitmap.  The returned array is
+    the map's own storage: treat it as read-only.
+    @raise Invalid_argument when [r] is out of range. *)
+
+val selection_defect_free : t -> sel_rows:int array -> sel_cols:int array -> bool
+(** Whether every crosspoint [(r, c)] with [r] in [sel_rows] and [c] in
+    [sel_cols] is defect-free — the word-parallel equivalent of probing
+    {!is_defective} over the cross product.  Uses per-domain scratch
+    (no allocation, safe under [Nxc_par]).
+    @raise Invalid_argument on an out-of-range index. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,14 +1,22 @@
 module Guard = Nxc_guard
+module Bitslice = Nxc_logic.Bitslice
 
 type selection = { sel_rows : int array; sel_cols : int array }
 
 let is_defect_free chip sel =
-  Array.for_all
-    (fun r ->
-      Array.for_all (fun c -> not (Defect.is_defective chip r c)) sel.sel_cols)
-    sel.sel_rows
+  Defect.selection_defect_free chip ~sel_rows:sel.sel_rows
+    ~sel_cols:sel.sel_cols
 
 let recovered_k sel = min (Array.length sel.sel_rows) (Array.length sel.sel_cols)
+
+(* the kept-column word mask shared by the scans below *)
+let fill_colmask mask ~n_c keep_c =
+  Array.fill mask 0 (Array.length mask) 0;
+  for c = 0 to n_c - 1 do
+    if keep_c.(c) then
+      mask.(c / Bitslice.word_bits) <-
+        mask.(c / Bitslice.word_bits) lor (1 lsl (c mod Bitslice.word_bits))
+  done
 
 (* Greedy deletion on index sets represented as boolean keep-masks. *)
 let greedy_max chip =
@@ -18,21 +26,32 @@ let greedy_max chip =
   (* count buffers hoisted out of the deletion loop: [defects_left] runs
      once per deleted line, every iteration of the yield Monte-Carlo *)
   let row_cnt = Array.make n_r 0 and col_cnt = Array.make n_c 0 in
+  let nw = Defect.word_cols chip in
+  let colmask = Array.make nw 0 in
   let defects_left () =
     let worst_r = ref (-1) and worst_rc = ref 0 in
     let worst_c = ref (-1) and worst_cc = ref 0 in
     Array.fill row_cnt 0 n_r 0;
     Array.fill col_cnt 0 n_c 0;
     let any = ref false in
+    (* word scan over the defect bitmaps: only words with surviving
+       defects pay a per-bit visit, so the common sparse case costs one
+       AND per word *)
+    fill_colmask colmask ~n_c keep_c;
     for r = 0 to n_r - 1 do
-      if keep_r.(r) then
-        for c = 0 to n_c - 1 do
-          if keep_c.(c) && Defect.is_defective chip r c then begin
+      if keep_r.(r) then begin
+        let words = Defect.row_words chip r in
+        for w = 0 to nw - 1 do
+          let m = words.(w) land colmask.(w) in
+          if m <> 0 then begin
             any := true;
-            row_cnt.(r) <- row_cnt.(r) + 1;
-            col_cnt.(c) <- col_cnt.(c) + 1
+            row_cnt.(r) <- row_cnt.(r) + Bitslice.popcount m;
+            Bitslice.iter_set m (fun b ->
+                let c = (w * Bitslice.word_bits) + b in
+                col_cnt.(c) <- col_cnt.(c) + 1)
           end
         done
+      end
     done;
     for r = 0 to n_r - 1 do
       if keep_r.(r) && row_cnt.(r) > !worst_rc then begin
@@ -95,6 +114,8 @@ let exact_max ?(budget = 2_000_000) ?guard chip =
   let n_r = Defect.rows chip and n_c = Defect.cols chip in
   let best = ref { sel_rows = [||]; sel_cols = [||] } in
   let nodes = ref 0 in
+  let nw = Defect.word_cols chip in
+  let colmask = Array.make nw 0 in
   let exception Out_of_budget in
   let rec go keep_r keep_c alive_r alive_c =
     incr nodes;
@@ -102,17 +123,23 @@ let exact_max ?(budget = 2_000_000) ?guard chip =
       raise Out_of_budget;
     if min alive_r alive_c <= recovered_k !best then () (* bound *)
     else begin
-      (* find any defective cell in the selection *)
+      (* find the first defective cell in the selection (ascending row,
+         then column — same order the scalar probe scan used) *)
       let cell = ref None in
+      fill_colmask colmask ~n_c keep_c;
       (try
          for r = 0 to n_r - 1 do
-           if keep_r.(r) then
-             for c = 0 to n_c - 1 do
-               if keep_c.(c) && Defect.is_defective chip r c then begin
-                 cell := Some (r, c);
+           if keep_r.(r) then begin
+             let words = Defect.row_words chip r in
+             for w = 0 to nw - 1 do
+               let m = words.(w) land colmask.(w) in
+               if m <> 0 && !cell = None then begin
+                 cell :=
+                   Some (r, (w * Bitslice.word_bits) + Bitslice.lowest_set m);
                  raise Exit
                end
              done
+           end
          done
        with Exit -> ());
       match !cell with

@@ -54,6 +54,44 @@ val eval_multi : faults:fault list -> config -> bool array -> bool
     a single fault.  Used to study masking between coincident
     defects. *)
 
+(** {2 Batched test-vector application}
+
+    The word-parallel path of the BIST/BISM stack.  A {!block} packs a
+    whole vector set in the {!Nxc_logic.Bitslice} layout — one bit lane
+    per vector, one word array per column line — and {!eval_block}
+    replays {!eval_multi}'s exact fault layering with one word
+    operation standing in for up to [Bitslice.word_bits] scalar
+    evaluations.  Packing is done once per test plan; the per-fault
+    sweep then costs one kernel pass per configuration instead of one
+    scalar evaluation per vector. *)
+
+type block
+(** An immutable packed vector set.  Safe to share between domains:
+    evaluation only reads it. *)
+
+val pack_vectors : cols:int -> bool array array -> block
+(** [pack_vectors ~cols vectors] packs [vectors] (each of length
+    [cols]) into column words; vector [j] occupies bit lane [j].
+    Raises [Invalid_argument] on a length mismatch or [cols <= 0]. *)
+
+val block_size : block -> int
+(** Number of packed vectors. *)
+
+val block_words : block -> int
+(** Words per column line ([Bitslice.words_for (block_size blk)]) —
+    the number of output words {!eval_block} writes. *)
+
+val eval_block : faults:fault list -> config -> block -> into:int array -> unit
+(** [eval_block ~faults cfg blk ~into] writes the faulty outputs of
+    every packed vector into the first [block_words blk] words of
+    [into]: bit lane [j] of the output is
+    [eval_multi ~faults cfg vector_j].  Output words are normalized
+    (lanes at or beyond [block_size blk] are zero), so callers may
+    XOR them against expectation words and popcount/scan the result
+    directly.  Uses the per-domain scratch — no allocation, and safe
+    under [Nxc_par].  Raises [Invalid_argument] when the block width
+    differs from [cfg.cols] or [into] is too small. *)
+
 val of_defect : Defect.t -> int -> int -> fault option
 (** The logic-level fault a fabrication defect at [(r, c)] induces:
     stuck-open / stuck-closed crosspoints map directly, a bridge maps to

@@ -143,6 +143,98 @@ let fet_tests =
             && d.Model.cols = Fet.num_pullup x + Fet.num_pulldown x);
   ]
 
+(* word-parallel kernels vs the scalar evaluators *)
+let kernel_tests =
+  let vectors_of n ms =
+    Array.of_list
+      (List.map (fun m -> Array.init n (fun i -> m land (1 lsl i) <> 0)) ms)
+  in
+  [
+    U.qtest ~count:150 "diode eval_all ≡ scalar eval" (arb_nonconst 4) (fun f ->
+        match Boolfunc.is_const f with
+        | Some _ -> true
+        | None ->
+            let x = Diode.synthesize f in
+            Tt.equal (Diode.eval_all x)
+              (Tt.of_fun_int 4 (Diode.eval_int x)));
+    U.qtest ~count:30 "diode eval_all ≡ scalar eval (8 vars, heuristic sop)"
+      (arb_nonconst 8) (fun f ->
+        match Boolfunc.is_const f with
+        | Some _ -> true
+        | None ->
+            let x = Diode.synthesize ~method_:Minimize.Heuristic f in
+            Tt.equal (Diode.eval_all x)
+              (Tt.of_fun_int 8 (Diode.eval_int x)));
+    Alcotest.test_case "diode eval_all on a 1xk crossbar" `Quick (fun () ->
+        (* a single product occupies one row *)
+        let x = Diode.synthesize (Parse.expr "x1x2'x3") in
+        check_int "one row" 1 (Diode.dims x).Model.rows;
+        check "kernel matches" true
+          (Tt.equal (Diode.eval_all x) (Tt.of_fun_int 3 (Diode.eval_int x))));
+    U.qtest ~count:100 "diode eval_vectors ≡ eval"
+      QCheck.(pair (arb_nonconst 4) (list (int_bound 15)))
+      (fun (f, ms) ->
+        match Boolfunc.is_const f with
+        | Some _ -> true
+        | None ->
+            let x = Diode.synthesize f in
+            let vecs = vectors_of 4 ms in
+            let bv = Diode.eval_vectors x vecs in
+            Bitvec.length bv = Array.length vecs
+            && Array.for_all Fun.id
+                 (Array.mapi (fun j v -> Bitvec.get bv j = Diode.eval x v) vecs));
+    U.qtest ~count:150 "fet eval_all ≡ scalar eval" (arb_nonconst 4) (fun f ->
+        match Boolfunc.is_const f with
+        | Some _ -> true
+        | None ->
+            let x = Fet.synthesize f in
+            Tt.equal (Fet.eval_all x) (Tt.of_fun_int 4 (Fet.eval_int x)));
+    U.qtest ~count:30 "fet eval_all ≡ scalar eval (6 vars, heuristic sop)"
+      (arb_nonconst 6) (fun f ->
+        match Boolfunc.is_const f with
+        | Some _ -> true
+        | None ->
+            let x = Fet.synthesize ~method_:Minimize.Heuristic f in
+            Tt.equal (Fet.eval_all x) (Tt.of_fun_int 6 (Fet.eval_int x)));
+    U.qtest ~count:100 "fet eval_vectors ≡ eval"
+      QCheck.(pair (arb_nonconst 4) (list (int_bound 15)))
+      (fun (f, ms) ->
+        match Boolfunc.is_const f with
+        | Some _ -> true
+        | None ->
+            let x = Fet.synthesize f in
+            let vecs = vectors_of 4 ms in
+            let bv = Fet.eval_vectors x vecs in
+            Bitvec.length bv = Array.length vecs
+            && Array.for_all Fun.id
+                 (Array.mapi (fun j v -> Bitvec.get bv j = Fet.eval x v) vecs));
+    Alcotest.test_case "scratch is stateless across interleaved shapes" `Quick
+      (fun () ->
+        (* one scratch threaded through crossbars of different arities
+           and dimensions must give the same tables as fresh scratches *)
+        let fs =
+          List.map Parse.expr
+            [ "x1x2 + x1'x2'"; "x1x2'x3"; "x1 ^ x2 ^ x3 ^ x4"; "x1 + x2x3" ]
+        in
+        let s = Model.scratch () in
+        List.iter
+          (fun f ->
+            let d = Diode.synthesize f and t = Fet.synthesize f in
+            let expect_d = Diode.eval_all d and expect_t = Fet.eval_all t in
+            check "diode, shared scratch" true
+              (Tt.equal (Diode.eval_all ~scratch:s d) expect_d);
+            check "fet, shared scratch" true
+              (Tt.equal (Fet.eval_all ~scratch:s t) expect_t))
+          fs;
+        (* and again in reverse order, reusing the grown buffers *)
+        List.iter
+          (fun f ->
+            let d = Diode.synthesize f in
+            check "diode, reused scratch" true
+              (Tt.equal (Diode.eval_all ~scratch:s d) (Diode.eval_all d)))
+          (List.rev fs));
+  ]
+
 let metrics_tests =
   [
     Alcotest.test_case "diode report" `Quick (fun () ->
@@ -174,5 +266,6 @@ let () =
       ("model", model_tests);
       ("diode", diode_tests);
       ("fet", fet_tests);
+      ("kernels", kernel_tests);
       ("metrics", metrics_tests);
     ]

@@ -207,6 +207,54 @@ let defect_tests =
            with
           | exception Invalid_argument _ -> true
           | _ -> false));
+    qtest ~count:80 "selection_defect_free ≡ probing the cross product"
+      QCheck.(triple (int_range 1 20) (int_range 1 80) (int_bound 10_000))
+      (fun (rows, cols, seed) ->
+        let chip =
+          Defect.generate (Rng.create seed) ~rows ~cols (Defect.uniform 0.15)
+        in
+        let pick n k off =
+          Array.init (min k n) (fun i -> ((seed + off + (i * 13)) mod n))
+        in
+        let sel_rows = pick rows (1 + (seed mod rows)) 0 in
+        let sel_cols = pick cols (1 + (seed mod cols)) 7 in
+        let naive =
+          Array.for_all
+            (fun r ->
+              Array.for_all
+                (fun c -> not (Defect.is_defective chip r c))
+                sel_cols)
+            sel_rows
+        in
+        Defect.selection_defect_free chip ~sel_rows ~sel_cols = naive);
+    Alcotest.test_case "row bitmaps track every constructor" `Quick (fun () ->
+        let chip = Defect.perfect ~rows:3 ~cols:70 in
+        check "perfect is clean" true
+          (Array.for_all (( = ) 0) (Defect.row_words chip 2));
+        let chip' = Defect.with_defect chip 2 66 Defect.Stuck_open in
+        check "with_defect sets the bit" true
+          (Defect.selection_defect_free chip' ~sel_rows:[| 0; 1 |]
+             ~sel_cols:[| 66 |]
+          && not
+               (Defect.selection_defect_free chip' ~sel_rows:[| 2 |]
+                  ~sel_cols:[| 66 |]));
+        (* generated maps agree bit-for-bit with the kind matrix *)
+        let g =
+          Defect.generate (Rng.create 7) ~rows:5 ~cols:130 (Defect.uniform 0.2)
+        in
+        let ok = ref true in
+        for r = 0 to 4 do
+          let words = Defect.row_words g r in
+          for c = 0 to 129 do
+            let bit =
+              words.(c / Nxc_logic.Bitslice.word_bits)
+              land (1 lsl (c mod Nxc_logic.Bitslice.word_bits))
+              <> 0
+            in
+            if bit <> Defect.is_defective g r c then ok := false
+          done
+        done;
+        check "bitmap mirrors map" true !ok);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -324,6 +372,111 @@ let bist_tests =
         let p = Bist.plan ~rows:8 ~cols:8 in
         check "configs" true (Bist.num_configs p <= 16);
         check "vectors" true (Bist.num_vectors p <= 8 * 8 * 4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Packed (word-parallel) BIST path vs the scalar reference            *)
+(* ------------------------------------------------------------------ *)
+
+let fault_sample universe seed k =
+  let n = Array.length universe in
+  List.init k (fun i -> universe.(((seed * 31) + (i * 97)) mod n))
+
+let packed_tests =
+  [
+    qtest ~count:60 "eval_block ≡ eval_multi per vector"
+      QCheck.(triple (int_range 1 6) (int_range 2 7) (int_bound 10_000))
+      (fun (rows, cols, seed) ->
+        let universe = Array.of_list (Fm.universe ~rows ~cols) in
+        let faults = fault_sample universe seed (1 + (seed mod 3)) in
+        (* a config with a mix of programmed/observed rows *)
+        let cfg = Fm.empty_config ~rows ~cols in
+        for r = 0 to rows - 1 do
+          cfg.Fm.observed.(r) <- (seed + r) mod 3 <> 0;
+          for c = 0 to cols - 1 do
+            cfg.Fm.programmed.(r).(c) <- (seed + (r * cols) + c) mod 2 = 0
+          done
+        done;
+        let count = 1 + (seed mod 130) in
+        let vectors =
+          Array.init count (fun j ->
+              Array.init cols (fun c -> (seed + (j * cols) + c) mod 3 <> 1))
+        in
+        let blk = Fm.pack_vectors ~cols vectors in
+        let obs = Array.make (Fm.block_words blk) 0 in
+        Fm.eval_block ~faults cfg blk ~into:obs;
+        let ok = ref true in
+        Array.iteri
+          (fun j v ->
+            let want = Fm.eval_multi ~faults cfg v in
+            let got =
+              obs.(j / Nxc_logic.Bitslice.word_bits)
+              land (1 lsl (j mod Nxc_logic.Bitslice.word_bits))
+              <> 0
+            in
+            if want <> got then ok := false)
+          vectors;
+        !ok);
+    qtest ~count:30 "packed syndrome ≡ scalar syndrome"
+      QCheck.(triple (int_range 1 7) (int_range 2 8) (int_bound 10_000))
+      (fun (rows, cols, seed) ->
+        let plan = Bist.plan ~rows ~cols in
+        let pd = Bist.pack plan in
+        let universe = Array.of_list (Fm.universe ~rows ~cols) in
+        fault_sample universe seed 8
+        |> List.for_all (fun f ->
+               Bist.syndrome_packed pd f = Bist.syndrome_scalar plan f
+               && Bist.detects_packed pd f = (Bist.syndrome_scalar plan f <> [])));
+    qtest ~count:30 "packed multi-fault syndrome ≡ inline scalar"
+      QCheck.(triple (int_range 1 6) (int_range 2 7) (int_bound 10_000))
+      (fun (rows, cols, seed) ->
+        let plan = Bist.plan ~rows ~cols in
+        let universe = Array.of_list (Fm.universe ~rows ~cols) in
+        let faults = fault_sample universe seed (1 + (seed mod 4)) in
+        let scalar =
+          (* the pre-kernel implementation, replayed inline *)
+          let acc = ref [] in
+          List.iteri
+            (fun ci tc ->
+              List.iteri
+                (fun vi t ->
+                  if
+                    Fm.eval_multi ~faults tc.Bist.config t.Bist.vector
+                    <> t.Bist.expected
+                  then acc := (ci, vi) :: !acc)
+                tc.Bist.tests)
+            plan.Bist.configs;
+          List.rev !acc
+        in
+        Bist.syndrome_multi plan faults = scalar
+        && Bist.detects_multi plan faults = (scalar <> []));
+    Alcotest.test_case "syndrome pair order is ascending" `Quick (fun () ->
+        let plan = Bist.plan ~rows:6 ~cols:6 in
+        let pd = Bist.pack plan in
+        List.iter
+          (fun f ->
+            let s = Bist.syndrome_packed pd f in
+            check "sorted" true (List.sort compare s = s))
+          (Fm.universe ~rows:6 ~cols:6));
+    Alcotest.test_case "packed path reuses scratch across shapes" `Quick
+      (fun () ->
+        (* interleaved syndromes over different plan shapes must agree
+           with fresh scalar sweeps — the DLS buffers are shared *)
+        let shapes = [ (2, 3); (7, 9); (1, 2); (5, 4) ] in
+        let plans = List.map (fun (m, n) -> Bist.plan ~rows:m ~cols:n) shapes in
+        let packs = List.map Bist.pack plans in
+        for _round = 1 to 2 do
+          List.iteri
+            (fun i pd ->
+              let plan = List.nth plans i in
+              let m, n = List.nth shapes i in
+              List.iter
+                (fun f ->
+                  check "agree" true
+                    (Bist.syndrome_packed pd f = Bist.syndrome_scalar plan f))
+                (Fm.universe ~rows:m ~cols:n))
+            packs
+        done);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -715,6 +868,7 @@ let () =
       ("defect", defect_tests);
       ("fault_model", fault_model_tests);
       ("bist", bist_tests);
+      ("bist_packed", packed_tests);
       ("multi_fault", multi_fault_tests);
       ("bisd", bisd_tests);
       ("bism", bism_tests);

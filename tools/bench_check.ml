@@ -5,10 +5,15 @@
    contract regresses:
 
    - every experiment publishing an ["identical"] headline flag (PAR,
-     SERVICE, LOADGEN, BITSLICE) must report [true] — seeded runs must
-     stay bit-identical whatever --jobs was;
-   - a BITSLICE experiment must report [min_speedup >= 4] — the
-     word-parallel kernel must actually beat the scalar BFS;
+     SERVICE, LOADGEN, BITSLICE, BISTSLICE) must report [true] — seeded
+     runs must stay bit-identical whatever --jobs was;
+   - a BITSLICE or BISTSLICE experiment must report [min_speedup >= 4]
+     — the word-parallel kernels must actually beat their scalar
+     reference paths — and BISTSLICE must publish both fields (a silent
+     drop of the differential test may not pass the gate);
+   - an E6 experiment must finish within its wall-clock floor
+     (8 s; the batched BIST kernels hold it around half a second) —
+     the coverage/diagnosis sweep may not regress to scalar speed;
    - a LOADGEN experiment must publish a finite, positive [warm_p99_ms]
      — the SLO quantile pipeline must actually produce numbers;
    - an E17 (repair) experiment must keep [min_margin_vs_blind >= 0] —
@@ -78,6 +83,27 @@ let () =
           else
             fail "%s: kernel speedup regressed (min_speedup = %s)" id
               (J.to_string v));
+      (if id = "BISTSLICE" then begin
+         (match field "identical" with
+         | Some (J.Bool true) -> ()
+         | _ -> fail "BISTSLICE: no identical flag in headline");
+         match field "min_speedup" with
+         | Some _ -> ()
+         | None -> fail "BISTSLICE: no min_speedup in headline"
+       end);
+      (if id = "E6" then
+         match J.member "wall_ms" exp with
+         | None -> fail "E6: no wall_ms"
+         | Some v ->
+             let ms = num v in
+             if Float.is_finite ms && ms <= 8000.0 then
+               Printf.printf "bench_check: %-9s wall %.0fms (floor 8000ms)\n"
+                 id ms
+             else
+               fail
+                 "E6: coverage sweep regressed to scalar speed (wall_ms = %s \
+                  > 8000)"
+                 (J.to_string v));
       (if id = "LOADGEN" then
          match field "warm_p99_ms" with
          | None -> fail "LOADGEN: no warm_p99_ms in headline"
