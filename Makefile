@@ -39,9 +39,11 @@ bench:
 # must hold, the bit-sliced lattice and BIST kernels keep their >= 4x
 # margins over the scalar paths, E6 stays under its 8s wall-clock
 # floor, SERVICE keeps its warm hit rate, LOADGEN publishes finite
-# quantiles); the gate table lives in docs/PERFORMANCE.md
+# quantiles, E1/E11 publish their covering provenance, and E18 proves
+# the SAT backends agree with bnb and rescue chips hybrid BISM missed);
+# the gate table lives in docs/PERFORMANCE.md
 bench-smoke:
-	BENCH_OUT=bench_smoke.json dune exec bench/main.exe -- BITSLICE BISTSLICE E6 PAR SERVICE LOADGEN E17
+	BENCH_OUT=bench_smoke.json dune exec bench/main.exe -- BITSLICE BISTSLICE E6 PAR SERVICE LOADGEN E17 E1 E11 E18
 	dune exec tools/bench_check.exe -- bench_smoke.json
 
 # quick end-to-end exercise of the observability surface

@@ -160,9 +160,31 @@ let jobs_term =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* ------------------------------------------------------------------ *)
+(* covering-backend flag, shared by every subcommand                   *)
+(* ------------------------------------------------------------------ *)
+
+let backend_term =
+  let doc =
+    "Exact covering engine for Quine-McCluskey: $(b,bnb) (branch and \
+     bound, default) or $(b,sat) (CDCL solver).  Both are exact; on \
+     budget exhaustion $(b,sat) degrades back to $(b,bnb) under the \
+     $(b,guard.degrade.sat_to_bnb) counter (or exits 4 with \
+     $(b,--on-exhaustion fail))."
+  in
+  let setup b = Qm.set_cover_backend b in
+  Term.(
+    const setup
+    $ Arg.(
+        value
+        & opt (enum [ ("bnb", Qm.Bnb); ("sat", Qm.Sat) ]) Qm.Bnb
+        & info [ "cover-backend" ] ~docv:"ENGINE" ~doc))
+
 (* every subcommand takes the setup terms and receives the --jobs value *)
 let common_term =
-  Term.(const (fun () () jobs -> jobs) $ obs_term $ guard_term $ jobs_term)
+  Term.(
+    const (fun () () () jobs -> jobs)
+    $ obs_term $ guard_term $ backend_term $ jobs_term)
 
 let die_error e =
   Guard.Error.count e;
@@ -266,32 +288,50 @@ let bist_cmd =
     (Cmd.info "bist" ~doc:"test-plan statistics and fault coverage")
     Term.(const run $ common_term $ rows $ cols)
 
+(* heuristic BISM schemes plus the exact SAT decision procedure *)
+type cli_scheme = Heuristic of R.Bism.scheme | Exact_sat
+
 let scheme_conv =
   let parse = function
-    | "blind" -> Ok R.Bism.Blind
-    | "greedy" -> Ok R.Bism.Greedy
-    | "hybrid" -> Ok (R.Bism.Hybrid 10)
+    | "blind" -> Ok (Heuristic R.Bism.Blind)
+    | "greedy" -> Ok (Heuristic R.Bism.Greedy)
+    | "hybrid" -> Ok (Heuristic (R.Bism.Hybrid 10))
+    | "sat" -> Ok Exact_sat
     | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
   in
   let print ppf = function
-    | R.Bism.Blind -> Format.pp_print_string ppf "blind"
-    | R.Bism.Greedy -> Format.pp_print_string ppf "greedy"
-    | R.Bism.Hybrid _ -> Format.pp_print_string ppf "hybrid"
+    | Heuristic R.Bism.Blind -> Format.pp_print_string ppf "blind"
+    | Heuristic R.Bism.Greedy -> Format.pp_print_string ppf "greedy"
+    | Heuristic (R.Bism.Hybrid _) -> Format.pp_print_string ppf "hybrid"
+    | Exact_sat -> Format.pp_print_string ppf "sat"
   in
   Arg.conv (parse, print)
 
 let bism_cmd =
   let run jobs n k density scheme seed trials =
     Nxc_par.Pool.with_jobs jobs @@ fun pool ->
-    let mc, _ =
-      R.Bism.monte_carlo ?pool (R.Rng.create seed) scheme ~trials ~n
-        ~profile:(R.Defect.uniform density) ~k_rows:k ~k_cols:k
-        ~max_configs:1000
-    in
-    Format.printf
-      "%d/%d chips mapped (k=%d on N=%d at %.1f%% defects), avg %.1f \
-       configurations@."
-      mc.R.Bism.mc_mapped trials k n (100.0 *. density) mc.R.Bism.mc_avg_configs
+    match scheme with
+    | Heuristic scheme ->
+        let mc, _ =
+          R.Bism.monte_carlo ?pool (R.Rng.create seed) scheme ~trials ~n
+            ~profile:(R.Defect.uniform density) ~k_rows:k ~k_cols:k
+            ~max_configs:1000
+        in
+        Format.printf
+          "%d/%d chips mapped (k=%d on N=%d at %.1f%% defects), avg %.1f \
+           configurations@."
+          mc.R.Bism.mc_mapped trials k n (100.0 *. density)
+          mc.R.Bism.mc_avg_configs
+    | Exact_sat ->
+        let mc =
+          R.Sat_assign.monte_carlo ?pool (R.Rng.create seed) ~trials ~n
+            ~profile:(R.Defect.uniform density) ~k_rows:k ~k_cols:k
+        in
+        Format.printf
+          "%d/%d chips mapped (k=%d on N=%d at %.1f%% defects), %d proven \
+           unmappable, %d degraded@."
+          mc.R.Sat_assign.sa_mapped trials k n (100.0 *. density)
+          mc.R.Sat_assign.sa_unmappable mc.R.Sat_assign.sa_degraded
   in
   let n = Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"chip side") in
   let k =
@@ -300,8 +340,11 @@ let bism_cmd =
   let scheme =
     Arg.(
       value
-      & opt scheme_conv (R.Bism.Hybrid 10)
-      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"blind, greedy or hybrid")
+      & opt scheme_conv (Heuristic (R.Bism.Hybrid 10))
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "blind, greedy or hybrid (heuristic BISM), or sat (exact \
+             mappability decision with witness)")
   in
   let trials =
     Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"chips to try")

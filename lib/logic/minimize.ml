@@ -19,7 +19,7 @@ type outcome = { cover : Cover.t; degraded : bool }
 (* The guarded core.  Every path either returns a function-equivalent
    cover or a typed error; the [degraded] flag records that a cheaper
    method than the requested one produced the cover. *)
-let sop_table_with guard ~method_ tt =
+let sop_table_with guard ~method_ ?cover_backend tt =
   Obs.Metrics.incr m_sop_calls;
   Obs.Span.with_ ~name:"minimize.sop"
     ~attrs:(fun () ->
@@ -33,7 +33,7 @@ let sop_table_with guard ~method_ tt =
      is reported instead. *)
   let exact () =
     match
-      Qm.minimize_result ~guard ~n (Truth_table.minterms tt)
+      Qm.minimize_result ~guard ?cover_backend ~n (Truth_table.minterms tt)
     with
     | Ok (cover, _) -> Ok { cover; degraded = false }
     | Error e -> (
@@ -67,11 +67,11 @@ let sop_table_with guard ~method_ tt =
       assert (Truth_table.equal (Truth_table.of_cover r.cover) tt);
       Ok r
 
-let sop_table_result ?(method_ = Auto) ?guard tt =
-  sop_table_with (Guard.Budget.resolve guard) ~method_ tt
+let sop_table_result ?(method_ = Auto) ?guard ?cover_backend tt =
+  sop_table_with (Guard.Budget.resolve guard) ~method_ ?cover_backend tt
 
-let sop_result ?method_ ?guard f =
-  sop_table_result ?method_ ?guard (Boolfunc.table f)
+let sop_result ?method_ ?guard ?cover_backend f =
+  sop_table_result ?method_ ?guard ?cover_backend (Boolfunc.table f)
 
 (* Total variants: never fail on budget — force the degradation path
    regardless of the guard's policy by running the core under an

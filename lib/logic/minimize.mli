@@ -40,15 +40,20 @@ val sop_table :
 val sop_result :
   ?method_:method_ ->
   ?guard:Nxc_guard.Budget.t ->
+  ?cover_backend:Qm.cover_backend ->
   Boolfunc.t ->
   (outcome, Nxc_guard.Error.t) result
 (** Like {!sop} but reports degradation explicitly, and under a
     [Fail]-policy guard returns [`Budget_exhausted] instead of falling
-    back. *)
+    back.  [cover_backend] selects {!Qm}'s exact covering engine for
+    this call (default: the process-wide {!Qm.cover_backend}[ ()]) —
+    the explicit parameter is what lets batch jobs pin their backend
+    independently of worker-domain state. *)
 
 val sop_table_result :
   ?method_:method_ ->
   ?guard:Nxc_guard.Budget.t ->
+  ?cover_backend:Qm.cover_backend ->
   Truth_table.t ->
   (outcome, Nxc_guard.Error.t) result
 

@@ -60,6 +60,14 @@ let primes ~n ~on ~dc = primes_guarded Guard.Budget.unlimited ~n ~on ~dc
 
 type stats = { num_primes : int; num_essential : int; exact : bool }
 
+type cover_backend = Bnb | Sat
+
+(* process-wide default, set once at CLI/service start-up before any
+   worker domain spawns (workers then read a stable published value) *)
+let default_backend = ref Bnb
+let set_cover_backend b = default_backend := b
+let cover_backend () = !default_backend
+
 (* Branch and bound over the covering problem: minimize the number of
    chosen primes covering all ON minterms.  [budget] caps explored
    nodes; [guard] is consumed once per node. *)
@@ -147,7 +155,7 @@ let isop_fallback ~n ~on ~dc =
   in
   Isop.isop ~lower upper
 
-let minimize_with guard ~dc ~budget ~n on =
+let minimize_with guard ~dc ~budget ~backend ~n on =
   Obs.Metrics.incr m_calls;
   Obs.Span.with_ ~name:"qm.minimize"
     ~attrs:(fun () -> [ ("n", Obs.Json.Int n) ])
@@ -189,34 +197,64 @@ let minimize_with guard ~dc ~budget ~n on =
                (fun i _ -> not (Hashtbl.mem essential i))
                (Array.to_list primes_arr))
         in
-        let rest_choice, exact =
-          if remaining = [] then (Some [], true)
+        let bnb () =
+          match cover_exact guard rest_primes remaining budget with
+          | Some sol, ex -> (sol, ex)
+          | None, _ -> (greedy_cover rest_primes remaining, false)
+        in
+        let rest_result =
+          if remaining = [] then Ok ([], true)
           else
-            match cover_exact guard rest_primes remaining budget with
-            | Some sol, ex -> (Some sol, ex)
-            | None, _ -> (Some (greedy_cover rest_primes remaining), false)
+            match backend with
+            | Bnb -> Ok (bnb ())
+            | Sat -> (
+                match
+                  Sat_cover.min_cube_cover ~guard ~primes:rest_primes
+                    ~minterms:remaining ()
+                with
+                | Ok { Sat_cover.chosen; optimal } -> Ok (chosen, optimal)
+                | Error (`Budget_exhausted _ as e)
+                  when Guard.Budget.policy guard = Guard.Budget.Fail ->
+                    Obs.Metrics.incr m_budget_exhausted;
+                    Error e
+                | Error _ ->
+                    (* the solver ran out before any certificate:
+                       degrade to branch and bound (which, on a dead
+                       guard, immediately winds down to greedy) *)
+                    Guard.Budget.degrade "sat_to_bnb";
+                    Ok (bnb ()))
         in
-        let rest_cubes =
-          match rest_choice with
-          | Some idxs -> List.map (fun i -> rest_primes.(i)) idxs
-          | None -> []
-        in
-        let cubes =
-          List.map (fun i -> primes_arr.(i)) essential_idx @ rest_cubes
-        in
-        Ok
-          ( Cover.make n cubes,
-            { num_primes = Array.length primes_arr;
-              num_essential = List.length essential_idx;
-              exact } )
+        (match rest_result with
+        | Error e -> Error e
+        | Ok (rest_idx, exact) ->
+            let rest_cubes = List.map (fun i -> rest_primes.(i)) rest_idx in
+            let cubes =
+              List.map (fun i -> primes_arr.(i)) essential_idx @ rest_cubes
+            in
+            Ok
+              ( Cover.make n cubes,
+                { num_primes = Array.length primes_arr;
+                  num_essential = List.length essential_idx;
+                  exact } ))
 
-let minimize_result ?(dc = []) ?(budget = 200_000) ?guard ~n on =
+let minimize_result ?(dc = []) ?(budget = 200_000) ?guard ?cover_backend ~n on
+    =
   let guard = Guard.Budget.resolve guard in
-  minimize_with guard ~dc ~budget ~n on
+  let backend =
+    match cover_backend with Some b -> b | None -> !default_backend
+  in
+  minimize_with guard ~dc ~budget ~backend ~n on
 
-let minimize ?(dc = []) ?(budget = 200_000) ?guard ~n on =
+let minimize ?(dc = []) ?(budget = 200_000) ?guard ?cover_backend ~n on =
   let guard = Guard.Budget.resolve guard in
-  match minimize_with guard ~dc ~budget ~n on with
+  let backend =
+    match cover_backend with Some b -> b | None -> !default_backend
+  in
+  (* a Degrade view keeps the total contract: the SAT covering backend
+     never fails here, it falls back under guard.degrade.sat_to_bnb *)
+  match
+    minimize_with (Guard.Budget.degrading guard) ~dc ~budget ~backend ~n on
+  with
   | Ok r -> r
   | Error _ ->
       (* graceful degradation: prime generation ran out of budget; an
@@ -226,8 +264,9 @@ let minimize ?(dc = []) ?(budget = 200_000) ?guard ~n on =
       ( isop_fallback ~n ~on ~dc,
         { num_primes = 0; num_essential = 0; exact = false } )
 
-let minimize_table ?budget ?guard tt =
+let minimize_table ?budget ?guard ?cover_backend tt =
   let n = Truth_table.n_vars tt in
-  minimize ?budget ?guard ~n (Truth_table.minterms tt)
+  minimize ?budget ?guard ?cover_backend ~n (Truth_table.minterms tt)
 
-let minimize_func ?budget ?guard f = minimize_table ?budget ?guard (Boolfunc.table f)
+let minimize_func ?budget ?guard ?cover_backend f =
+  minimize_table ?budget ?guard ?cover_backend (Boolfunc.table f)

@@ -21,6 +21,30 @@ val primes : n:int -> on:int list -> dc:int list -> Cube.t list
     minterms.  Unbudgeted (never degrades): intended for tests and
     calibration. *)
 
+(** {2 Covering backends}
+
+    The covering step (after essential-prime extraction) can run on two
+    exact engines: the in-module branch and bound ([Bnb], the default)
+    or the {!Sat_cover} encoding over the {!Nxc_sat} CDCL solver
+    ([Sat]).  Both return minimum covers when they complete, so covers
+    only differ in which equally-sized solution they pick; E18 verifies
+    the two backends semantically equivalent on the paper's suites.
+
+    On budget exhaustion the [Sat] backend degrades to [Bnb] under a
+    [guard.degrade.sat_to_bnb] count (which, with the budget already
+    dead, immediately winds down to the usual greedy fallback) — except
+    under a [Fail]-policy guard, where {!minimize_result} reports
+    [`Budget_exhausted] instead. *)
+
+type cover_backend = Bnb | Sat
+
+val set_cover_backend : cover_backend -> unit
+(** Process-wide default for entry points that don't pass
+    [?cover_backend] — set once at CLI/service start-up, before any
+    worker domain spawns. *)
+
+val cover_backend : unit -> cover_backend
+
 type stats = {
   num_primes : int;  (** 0 when prime generation was cut short *)
   num_essential : int;
@@ -31,29 +55,42 @@ val minimize :
   ?dc:int list ->
   ?budget:int ->
   ?guard:Nxc_guard.Budget.t ->
+  ?cover_backend:cover_backend ->
   n:int ->
   int list ->
   Cover.t * stats
 (** [minimize ~n on] is a minimum (or near-minimum, see
     {!field-stats.exact}) cover of the ON-set minterms using the DC-set
     freely.  [budget] bounds the branch-and-bound node count (default
-    200_000); [guard] (default: the ambient budget) bounds total work.
-    Total: on guard exhaustion it returns the degraded ISOP cover
-    described above and counts a [guard.degrade.qm_to_isop]. *)
+    200_000); [guard] (default: the ambient budget) bounds total work;
+    [cover_backend] (default: {!cover_backend}[ ()]) picks the exact
+    covering engine.  Total: on guard exhaustion it returns the
+    degraded ISOP cover described above and counts a
+    [guard.degrade.qm_to_isop]. *)
 
 val minimize_result :
   ?dc:int list ->
   ?budget:int ->
   ?guard:Nxc_guard.Budget.t ->
+  ?cover_backend:cover_backend ->
   n:int ->
   int list ->
   (Cover.t * stats, Nxc_guard.Error.t) result
 (** Like {!minimize} but reports [`Budget_exhausted] instead of
     computing the ISOP fallback when the guard trips during prime
-    generation. *)
+    generation (or, under a [Fail]-policy guard, during [Sat]-backend
+    covering). *)
 
 val minimize_table :
-  ?budget:int -> ?guard:Nxc_guard.Budget.t -> Truth_table.t -> Cover.t * stats
+  ?budget:int ->
+  ?guard:Nxc_guard.Budget.t ->
+  ?cover_backend:cover_backend ->
+  Truth_table.t ->
+  Cover.t * stats
 
 val minimize_func :
-  ?budget:int -> ?guard:Nxc_guard.Budget.t -> Boolfunc.t -> Cover.t * stats
+  ?budget:int ->
+  ?guard:Nxc_guard.Budget.t ->
+  ?cover_backend:cover_backend ->
+  Boolfunc.t ->
+  Cover.t * stats

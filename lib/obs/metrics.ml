@@ -340,7 +340,7 @@ let names () = List.map fst (sorted_metrics ())
 let namespaces =
   [ "bira"; "bism"; "bisr"; "bist"; "bitslice"; "defect"; "espresso";
     "fault_model"; "flow"; "guard"; "isop"; "lattice"; "loadgen"; "minimize";
-    "montecarlo"; "npn"; "par"; "qm"; "service"; "synth"; "test" ]
+    "montecarlo"; "npn"; "par"; "qm"; "sat"; "service"; "synth"; "test" ]
 
 let valid_name name =
   let seg_ok s =

@@ -7,7 +7,7 @@
     [bism], [bisr], [bist], [bitslice], [defect], [espresso],
     [fault_model], [flow], [guard], [isop], [lattice], [loadgen],
     [minimize], [montecarlo],
-    [npn], [par], [qm], [service], [synth] (plus [test] for instruments
+    [npn], [par], [qm], [sat], [service], [synth] (plus [test] for instruments
     created by the test suite itself).  {!valid_name} checks a name against this scheme and
     the namespace-lint test enforces it for every instrument registered
     at runtime.

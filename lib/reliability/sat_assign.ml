@@ -1,0 +1,125 @@
+module Obs = Nxc_obs
+module Guard = Nxc_guard
+module Sat = Nxc_sat
+
+let m_calls = Obs.Metrics.counter "sat.assign_calls"
+let m_mappable = Obs.Metrics.counter "sat.assign_mappable"
+let m_unmappable = Obs.Metrics.counter "sat.assign_unmappable"
+let m_degraded = Obs.Metrics.counter "sat.assign_degraded"
+
+type verdict =
+  | Mappable of Bism.mapping
+  | Unmappable
+  | Degraded of Bism.mapping option
+
+(* bounded hybrid-BISM retry for the Degrade path: the exhausted budget
+   must not also starve the fallback (it would wind down instantly and
+   report nothing), so it runs under an explicit unlimited guard with a
+   small configuration cap — polynomial, prompt, like Qm's ISOP
+   fallback *)
+let fallback_max_configs = 48
+
+let decide ?guard ?(seed = 0) chip ~k_rows ~k_cols =
+  let rows = Defect.rows chip and cols = Defect.cols chip in
+  if k_rows < 1 || k_cols < 1 then
+    Error (Guard.Error.invalid_input "Sat_assign: empty logical array")
+  else if k_rows > rows || k_cols > cols then
+    Error
+      (Guard.Error.invalid_inputf
+         "Sat_assign: %dx%d logical array exceeds %dx%d chip" k_rows k_cols
+         rows cols)
+  else begin
+    let guard = Guard.Budget.resolve guard in
+    Obs.Metrics.incr m_calls;
+    Obs.Span.with_ ~name:"sat.assign"
+      ~attrs:(fun () ->
+        [ ("rows", Obs.Json.Int rows); ("cols", Obs.Json.Int cols);
+          ("k_rows", Obs.Json.Int k_rows); ("k_cols", Obs.Json.Int k_cols) ])
+    @@ fun () ->
+    let s = Sat.Solver.create ~seed () in
+    let r_var = Array.init rows (fun _ -> Sat.Solver.new_var s) in
+    let c_var = Array.init cols (fun _ -> Sat.Solver.new_var s) in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        if Defect.is_defective chip r c then
+          Sat.Solver.add_clause s [ -r_var.(r); -c_var.(c) ]
+      done
+    done;
+    Sat.Card.at_least s (Array.to_list r_var) ~k:k_rows;
+    Sat.Card.at_least s (Array.to_list c_var) ~k:k_cols;
+    match Sat.Solver.solve ~guard s with
+    | Sat.Solver.Sat ->
+        (* any k_rows/k_cols of the selected lines work: every selected
+           crosspoint is defect-free *)
+        let pick vars k =
+          let acc = ref [] and need = ref k in
+          Array.iteri
+            (fun i v ->
+              if !need > 0 && Sat.Solver.value s v then begin
+                acc := i :: !acc;
+                decr need
+              end)
+            vars;
+          Array.of_list (List.rev !acc)
+        in
+        let mapping =
+          { Bism.row_map = pick r_var k_rows; col_map = pick c_var k_cols }
+        in
+        if not (Bism.mapping_defect_free chip mapping) then
+          Error
+            (Guard.Error.internal
+               "Sat_assign: model produced a defective mapping")
+        else begin
+          Obs.Metrics.incr m_mappable;
+          Ok (Mappable mapping)
+        end
+    | Sat.Solver.Unsat ->
+        Obs.Metrics.incr m_unmappable;
+        Ok Unmappable
+    | Sat.Solver.Unknown -> (
+        match Guard.Budget.policy guard with
+        | Guard.Budget.Fail -> Error (Guard.Budget.error guard)
+        | Guard.Budget.Degrade ->
+            Guard.Budget.degrade "sat_to_greedy";
+            Obs.Metrics.incr m_degraded;
+            let rng = Rng.create seed in
+            let _, m =
+              Bism.run ~guard:Guard.Budget.unlimited rng (Bism.Hybrid 8) ~chip
+                ~k_rows ~k_cols ~max_configs:fallback_max_configs
+            in
+            Ok (Degraded m))
+  end
+
+type mc = {
+  sa_trials : int;
+  sa_mapped : int;
+  sa_unmappable : int;
+  sa_degraded : int;
+}
+
+let monte_carlo ?pool ?guard rng ~trials ~n ~profile ~k_rows ~k_cols =
+  if trials <= 0 then
+    invalid_arg "Sat_assign.monte_carlo: trials must be positive";
+  let guard = Guard.Budget.resolve guard in
+  Obs.Span.with_ ~name:"sat.monte_carlo"
+    ~attrs:(fun () ->
+      [ ("trials", Obs.Json.Int trials); ("n", Obs.Json.Int n) ])
+  @@ fun () ->
+  let rngs = Array.init trials (fun _ -> Rng.split rng) in
+  let per =
+    Nxc_par.Pool.map_range ?pool ~guard trials (fun i ->
+        let r = rngs.(i) in
+        let seed = Rng.int r 0x3FFFFFFF in
+        let chip = Defect.generate r ~rows:n ~cols:n profile in
+        (* no explicit guard: [decide] resolves the ambient budget,
+           which the pool points at this slot's partition slice *)
+        decide ~seed chip ~k_rows ~k_cols)
+  in
+  let count f = Array.fold_left (fun a x -> if f x then a + 1 else a) 0 per in
+  { sa_trials = trials;
+    sa_mapped =
+      count (function
+        | Ok (Mappable _) | Ok (Degraded (Some _)) -> true
+        | _ -> false);
+    sa_unmappable = count (function Ok Unmappable -> true | _ -> false);
+    sa_degraded = count (function Ok (Degraded _) -> true | _ -> false) }

@@ -1,0 +1,55 @@
+(* Sequential-counter (Sinz 2005) cardinality encoding, one-sided.
+
+   Registers s_(i,j) = "at least j of the first i inputs are true" for
+   i in 1..n, j in 1..min(i, max).  Three clause schemas give the
+   "least j true => s_(i,j)" direction:
+
+     x_i                   => s_(i,1)
+     s_(i-1,j)             => s_(i,j)
+     s_(i-1,j-1) /\ x_i    => s_(i,j)
+
+   The outputs are the last row s_(n,j).  O(n * max) variables and
+   clauses. *)
+
+let counter s lits ~max:bound =
+  if bound < 1 then invalid_arg "Card.counter: max must be >= 1";
+  let xs = Array.of_list lits in
+  let n = Array.length xs in
+  let width = min bound n in
+  if n = 0 then [||]
+  else begin
+    (* reg.(j-1) is s_(i,j) for the current row i *)
+    let reg = Array.make width 0 in
+    let prev = Array.make width 0 in
+    for i = 1 to n do
+      let x = xs.(i - 1) in
+      Array.blit reg 0 prev 0 width;
+      let row_width = min i width in
+      for j = 1 to row_width do
+        let sij = Solver.new_var s in
+        reg.(j - 1) <- sij;
+        if j = 1 then Solver.add_clause s [ -x; sij ];
+        if i > 1 && j <= min (i - 1) width then
+          Solver.add_clause s [ -prev.(j - 1); sij ];
+        if i > 1 && j > 1 && j - 1 <= min (i - 1) width then
+          Solver.add_clause s [ -prev.(j - 2); -x; sij ]
+      done
+    done;
+    Array.sub reg 0 width
+  end
+
+let at_most s lits ~k =
+  if k < 0 then invalid_arg "Card.at_most: k must be >= 0";
+  let n = List.length lits in
+  if k = 0 then List.iter (fun l -> Solver.add_clause s [ -l ]) lits
+  else if k < n then begin
+    let o = counter s lits ~max:(k + 1) in
+    Solver.add_clause s [ -o.(k) ]
+  end
+
+let at_least s lits ~k =
+  if k > 0 then begin
+    let n = List.length lits in
+    if k > n then Solver.add_clause s []
+    else at_most s (List.map (fun l -> -l) lits) ~k:(n - k)
+  end

@@ -95,7 +95,7 @@ let cover_of_json n = function
 
 let corrupt () = Error (Error.internal "corrupt cache entry for synth job")
 
-let plan_synth (job : Job.t) expr =
+let plan_synth (job : Job.t) expr cover_backend =
   match Parse.expr_result expr with
   | Error e -> Bad e
   | Ok f ->
@@ -107,12 +107,19 @@ let plan_synth (job : Job.t) expr =
         | Some b -> ":b" ^ string_of_int b
         | None -> ""
       in
-      let key = "npn:" ^ Npn.table_key canon ^ phase ^ budget_tag in
+      (* both backends find a minimum cover, but not necessarily the
+         same one — keep their cache entries apart *)
+      let backend, backend_tag =
+        match cover_backend with
+        | "sat" -> (Some Qm.Sat, ":sat")
+        | _ -> (None, "")
+      in
+      let key = "npn:" ^ Npn.table_key canon ^ phase ^ budget_tag ^ backend_tag in
       let compute () =
         with_job_budget job @@ fun () ->
         match
-          ( Minimize.sop_result f,
-            Minimize.sop_result (Boolfunc.dual f) )
+          ( Minimize.sop_result ?cover_backend:backend f,
+            Minimize.sop_result ?cover_backend:backend (Boolfunc.dual f) )
         with
         | Ok c, Ok d ->
             Ok
@@ -230,17 +237,30 @@ let plan_bist job rows cols =
 let plan_bism job n k density seed trials scheme =
   plan_sim job
     (fun () ->
-      let mc, _ =
-        R.Bism.monte_carlo (R.Rng.create seed) (scheme_of_string scheme)
-          ~trials ~n
-          ~profile:(R.Defect.uniform density)
-          ~k_rows:k ~k_cols:k ~max_configs:1000
-      in
-      Ok
-        (J.Obj
-           [ ("mapped", J.Int mc.R.Bism.mc_mapped);
-             ("trials", J.Int trials);
-             ("avg_configs", J.Float mc.R.Bism.mc_avg_configs) ]))
+      if scheme = "sat" then
+        let mc =
+          R.Sat_assign.monte_carlo (R.Rng.create seed) ~trials ~n
+            ~profile:(R.Defect.uniform density)
+            ~k_rows:k ~k_cols:k
+        in
+        Ok
+          (J.Obj
+             [ ("mapped", J.Int mc.R.Sat_assign.sa_mapped);
+               ("trials", J.Int trials);
+               ("unmappable", J.Int mc.R.Sat_assign.sa_unmappable);
+               ("degraded", J.Int mc.R.Sat_assign.sa_degraded) ])
+      else
+        let mc, _ =
+          R.Bism.monte_carlo (R.Rng.create seed) (scheme_of_string scheme)
+            ~trials ~n
+            ~profile:(R.Defect.uniform density)
+            ~k_rows:k ~k_cols:k ~max_configs:1000
+        in
+        Ok
+          (J.Obj
+             [ ("mapped", J.Int mc.R.Bism.mc_mapped);
+               ("trials", J.Int trials);
+               ("avg_configs", J.Float mc.R.Bism.mc_avg_configs) ]))
     ~exit_of:exit_zero
 
 let plan_yield job n density seed trials =
@@ -293,7 +313,7 @@ let plan_repair job rows cols spare_rows spare_cols density seed trials mode =
 
 let plan (job : Job.t) =
   match job.Job.spec with
-  | Job.Synth { expr } -> plan_synth job expr
+  | Job.Synth { expr; cover_backend } -> plan_synth job expr cover_backend
   | Job.Flow { expr; n; density; seed } -> plan_flow job expr n density seed
   | Job.Bist { rows; cols } -> plan_bist job rows cols
   | Job.Bism { n; k; density; seed; trials; scheme } ->

@@ -5,7 +5,7 @@ module J = Nxc_obs.Json
 module Error = Nxc_guard.Error
 
 type spec =
-  | Synth of { expr : string }
+  | Synth of { expr : string; cover_backend : string }
   | Flow of { expr : string; n : int; density : float; seed : int }
   | Bist of { rows : int; cols : int }
   | Bism of {
@@ -114,8 +114,15 @@ let of_json json =
     let spec =
       match str kvs "kind" with
       | "synth" ->
-          check_known kvs ("expr" :: common);
-          Synth { expr = str kvs "expr" }
+          check_known kvs ("expr" :: "cover_backend" :: common);
+          let cover_backend =
+            match get kvs "cover_backend" with
+            | None -> "bnb"
+            | Some (J.Str (("bnb" | "sat") as s)) -> s
+            | Some (J.Str s) -> bad "job spec: unknown cover backend %S" s
+            | Some _ -> bad "job spec: \"cover_backend\" must be a string"
+          in
+          Synth { expr = str kvs "expr"; cover_backend }
       | "flow" ->
           check_known kvs ("expr" :: "n" :: "density" :: "seed" :: common);
           Flow
@@ -132,7 +139,7 @@ let of_json json =
           let scheme =
             match get kvs "scheme" with
             | None -> "hybrid"
-            | Some (J.Str ("blind" | "greedy" | "hybrid") as s) ->
+            | Some (J.Str ("blind" | "greedy" | "hybrid" | "sat") as s) ->
                 (match s with J.Str s -> s | _ -> assert false)
             | Some (J.Str s) -> bad "job spec: unknown scheme %S" s
             | Some _ -> bad "job spec: \"scheme\" must be a string"
@@ -186,7 +193,12 @@ let of_line line =
 (* ------------------------------------------------------------------ *)
 
 let spec_fields = function
-  | Synth { expr } -> [ ("kind", J.Str "synth"); ("expr", J.Str expr) ]
+  | Synth { expr; cover_backend } ->
+      (* [cover_backend] is emitted only when non-default so the cache
+         keys of pre-existing synth jobs are unchanged. *)
+      ("kind", J.Str "synth") :: ("expr", J.Str expr)
+      :: (if cover_backend = "bnb" then []
+          else [ ("cover_backend", J.Str cover_backend) ])
   | Flow { expr; n; density; seed } ->
       [ ("kind", J.Str "flow"); ("expr", J.Str expr); ("n", J.Int n);
         ("density", J.Float density); ("seed", J.Int seed) ]

@@ -11,7 +11,7 @@
     The kinds and their fields:
 
     {v
- {"kind":"synth", "expr":"x1x2 + x1'x2'"}
+ {"kind":"synth", "expr":"x1x2 + x1'x2'", "cover_backend":"bnb"}
  {"kind":"flow",  "expr":"x1 ^ x2", "n":24, "density":0.05, "seed":42}
  {"kind":"bist",  "rows":8, "cols":8}
  {"kind":"bism",  "n":32, "k":12, "density":0.05, "seed":42,
@@ -26,7 +26,12 @@
     [test/cram/service.t]. *)
 
 type spec =
-  | Synth of { expr : string }
+  | Synth of {
+      expr : string;
+      cover_backend : string;
+          (** ["bnb"] (default) or ["sat"] — the exact set-cover engine
+              used by the minimizer; see {!Nxc_logic.Qm.cover_backend} *)
+    }
   | Flow of { expr : string; n : int; density : float; seed : int }
   | Bist of { rows : int; cols : int }
   | Bism of {
@@ -35,7 +40,9 @@ type spec =
       density : float;
       seed : int;
       trials : int;
-      scheme : string;  (** ["blind"], ["greedy"] or ["hybrid"] *)
+      scheme : string;
+          (** ["blind"], ["greedy"], ["hybrid"] or ["sat"] (exact
+              decision via {!Nxc_reliability.Sat_assign}) *)
     }
   | Yield of { n : int; density : float; seed : int; trials : int }
   | Repair of {

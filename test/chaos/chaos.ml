@@ -237,6 +237,112 @@ let repair () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* SAT backends under budget exhaustion                                *)
+(* ------------------------------------------------------------------ *)
+
+let sat_budget () =
+  let counter name =
+    Nxc_obs.Metrics.counter_value (Nxc_obs.Metrics.counter name)
+  in
+  (* Covering backend: scan every step budget from 1 up to the
+     instance's full cost, so each exhaustion boundary is hit — prime
+     generation starved (qm_to_isop), the first covering solve starved
+     (sat_to_bnb), and the optimality proof starved (partial cover).
+     Whatever the cut point, the result must stay equivalent. *)
+  (* cyclic function: every minterm is covered by exactly two primes,
+     so essential extraction finds nothing and the covering backend
+     must actually run *)
+  let tt =
+    Tt.of_fun_int 5 (fun m ->
+        let l = m land 7 in
+        l <> 0 && l <> 7)
+  in
+  let on = Tt.minterms tt in
+  let full =
+    let guard = G.Budget.create ~label:"chaos-sat" ~steps:5_000_000 () in
+    ignore (L.Qm.minimize ~guard ~cover_backend:L.Qm.Sat ~n:5 on);
+    G.Budget.steps_used guard
+  in
+  let before = counter "guard.degrade.sat_to_bnb" in
+  for steps = 1 to full do
+    case "sat-cover" (fun () ->
+        let guard = G.Budget.create ~label:"chaos-sat" ~steps () in
+        let cover, _ = L.Qm.minimize ~guard ~cover_backend:L.Qm.Sat ~n:5 on in
+        if not (Tt.equal (Tt.of_cover cover) tt) then
+          fail "sat-cover: degraded cover not equivalent (steps=%d)" steps)
+  done;
+  if counter "guard.degrade.sat_to_bnb" <= before then
+    fail "sat-cover: no budget in 1..%d tripped guard.degrade.sat_to_bnb" full;
+  (* same starvation under Fail policy: a typed error, never a hang or
+     a silently degraded cover *)
+  for _ = 1 to 10 * factor do
+    let steps = 1 + Random.State.int rand full in
+    case "sat-cover-fail" (fun () ->
+        let guard =
+          G.Budget.create ~label:"chaos-sat" ~policy:G.Budget.Fail ~steps ()
+        in
+        match L.Qm.minimize_result ~guard ~cover_backend:L.Qm.Sat ~n:5 on with
+        | Ok (cover, _) ->
+            if not (Tt.equal (Tt.of_cover cover) tt) then
+              fail "sat-cover-fail: cover not equivalent (steps=%d)" steps
+        | Error (`Budget_exhausted _) -> ()
+        | Error e ->
+            fail "sat-cover-fail: wrong error kind %s" (G.Error.to_string e))
+  done;
+  (* Exact assignment: random chips under starvation budgets.  Degrade
+     must yield a verdict (witnesses re-validated), Fail must surface
+     the typed error, and the sat_to_greedy counter must move. *)
+  let before = counter "guard.degrade.sat_to_greedy" in
+  for i = 1 to 15 * factor do
+    let n = 8 + Random.State.int rand 6 in
+    let k = 4 + Random.State.int rand 3 in
+    let chip =
+      R.Defect.generate
+        (R.Rng.create (seed + (17 * i)))
+        ~rows:n ~cols:n
+        (R.Defect.uniform (0.2 +. Random.State.float rand 0.4))
+    in
+    let policy =
+      if Random.State.bool rand then G.Budget.Degrade else G.Budget.Fail
+    in
+    let steps = 1 + Random.State.int rand 30 in
+    case "sat-assign" (fun () ->
+        let guard = G.Budget.create ~label:"chaos-sat" ~policy ~steps () in
+        match
+          R.Sat_assign.decide ~guard ~seed:(seed + i) chip ~k_rows:k ~k_cols:k
+        with
+        | Ok (R.Sat_assign.Mappable m) ->
+            if not (R.Bism.mapping_defect_free chip m) then
+              fail "sat-assign: Mappable witness not defect-free (n=%d)" n
+        | Ok R.Sat_assign.Unmappable -> ()
+        | Ok (R.Sat_assign.Degraded m) ->
+            if policy = G.Budget.Fail then
+              fail "sat-assign: degraded verdict under Fail policy";
+            Option.iter
+              (fun m ->
+                if not (R.Bism.mapping_defect_free chip m) then
+                  fail "sat-assign: fallback mapping not defect-free (n=%d)" n)
+              m
+        | Error (`Budget_exhausted _) ->
+            if policy <> G.Budget.Fail then
+              fail "sat-assign: budget error under Degrade policy"
+        | Error e ->
+            fail "sat-assign: wrong error kind %s" (G.Error.to_string e))
+  done;
+  (* the pinned hard instance guarantees at least one mid-solve trip *)
+  case "sat-assign" (fun () ->
+      let chip =
+        R.Defect.generate (R.Rng.create 7) ~rows:12 ~cols:12
+          (R.Defect.uniform 0.3)
+      in
+      let guard = G.Budget.create ~label:"chaos-sat" ~steps:3 () in
+      match R.Sat_assign.decide ~guard chip ~k_rows:6 ~k_cols:6 with
+      | Ok (R.Sat_assign.Degraded _) -> ()
+      | _ -> fail "sat-assign: tiny budget on hard chip must degrade");
+  if counter "guard.degrade.sat_to_greedy" <= before then
+    fail "sat-assign: guard.degrade.sat_to_greedy never moved"
+
+(* ------------------------------------------------------------------ *)
 (* Determinism: same seed + same budget -> identical outcome           *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,6 +386,7 @@ let () =
   hostile_chips ();
   extraction ();
   repair ();
+  sat_budget ();
   determinism ();
   adversarial_qm ();
   let dt = Unix.gettimeofday () -. t0 in

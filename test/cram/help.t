@@ -86,6 +86,13 @@ parallelism flags (--trace / --metrics / --budget-steps / --jobs):
              Cap the cooperative work budget at STEPS steps across the whole
              pipeline (QM merges, covering nodes, mapping retries, ...).
   
+         --cover-backend=ENGINE (absent=bnb)
+             Exact covering engine for Quine-McCluskey: bnb (branch and bound,
+             default) or sat (CDCL solver). Both are exact; on budget
+             exhaustion sat degrades back to bnb under the
+             guard.degrade.sat_to_bnb counter (or exits 4 with --on-exhaustion
+             fail).
+  
          -d D, --density=D (absent=0.05)
              defect density (fraction)
   
@@ -116,7 +123,8 @@ parallelism flags (--trace / --metrics / --budget-steps / --jobs):
              methods and keeps going (default), fail stops with exit code 4.
   
          --scheme=SCHEME (absent=hybrid)
-             blind, greedy or hybrid
+             blind, greedy or hybrid (heuristic BISM), or sat (exact
+             mappability decision with witness)
   
          --seed=SEED (absent=42)
              random seed

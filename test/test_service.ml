@@ -193,7 +193,7 @@ let test_job_parse_bad () =
 (* ---------------- engine ------------------------------------------- *)
 
 let synth_job expr =
-  { Svc.Job.id = None; budget_steps = None; spec = Svc.Job.Synth { expr } }
+  { Svc.Job.id = None; budget_steps = None; spec = Svc.Job.Synth { expr; cover_backend = "bnb" } }
 
 let envelope_strings outcomes =
   List.map (fun (o : Svc.Engine.outcome) -> J.to_string o.envelope) outcomes

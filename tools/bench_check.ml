@@ -23,7 +23,15 @@
      [max_area_overhead] (spares are never free);
    - a SERVICE experiment must keep [warm_hit_rate >= 0.95] — a warm
      rerun of the job mix must resolve (almost) everything from the
-     cache.
+     cache;
+   - an E1 or E11 experiment must publish [bnb_nodes] and a
+     [cover_status] of "exact" or "degraded" — the covering engine must
+     say how much search its covers cost and whether any came back
+     non-minimal — and E1's core suite must stay "exact";
+   - an E18 experiment must report [identical_covers = true] (the SAT
+     covering backend agrees with branch-and-bound everywhere) and
+     [sat_rescues >= 1] (at least one chip was mapped exactly where
+     hybrid BISM gave up).
 
    Exit 0 when every gate passes and at least one identical flag was
    seen; exit 1 otherwise.  Run via `make bench-smoke` / `make check`. *)
@@ -138,16 +146,50 @@ let () =
                fail "E17: spare area overhead is not finite positive (%s)"
                  (J.to_string v)
        end);
-      if id = "SERVICE" then
-        match field "warm_hit_rate" with
-        | None -> fail "SERVICE: no warm_hit_rate in headline"
+      (if id = "SERVICE" then
+         match field "warm_hit_rate" with
+         | None -> fail "SERVICE: no warm_hit_rate in headline"
+         | Some v ->
+             let r = num v in
+             if r >= 0.95 then
+               Printf.printf "bench_check: %-9s warm_hit_rate %.2f\n" id r
+             else
+               fail "SERVICE: warm cache hit rate regressed (%s < 0.95)"
+                 (J.to_string v));
+      (if id = "E1" || id = "E11" then begin
+         (match field "bnb_nodes" with
+         | Some (J.Int nodes) when nodes >= 0 ->
+             Printf.printf "bench_check: %-9s bnb_nodes %d\n" id nodes
+         | Some v -> fail "%s: bnb_nodes is not a count (%s)" id (J.to_string v)
+         | None -> fail "%s: no bnb_nodes in headline" id);
+         match field "cover_status" with
+         | Some (J.Str ("exact" | "degraded" as st)) ->
+             if id = "E1" && st <> "exact" then
+               fail "E1: core-suite covers regressed to %s" st
+             else Printf.printf "bench_check: %-9s cover_status %s\n" id st
+         | Some v -> fail "%s: bad cover_status (%s)" id (J.to_string v)
+         | None -> fail "%s: no cover_status in headline" id
+       end);
+      if id = "E18" then begin
+        (match field "identical_covers" with
+        | Some (J.Bool true) ->
+            Printf.printf "bench_check: %-9s identical_covers:true\n" id
         | Some v ->
-            let r = num v in
-            if r >= 0.95 then
-              Printf.printf "bench_check: %-9s warm_hit_rate %.2f\n" id r
-            else
-              fail "SERVICE: warm cache hit rate regressed (%s < 0.95)"
-                (J.to_string v))
+            fail
+              "E18: SAT covering disagreed with branch-and-bound \
+               (identical_covers = %s)"
+              (J.to_string v)
+        | None -> fail "E18: no identical_covers in headline");
+        match field "sat_rescues" with
+        | Some (J.Int r) when r >= 1 ->
+            Printf.printf "bench_check: %-9s sat_rescues %d\n" id r
+        | Some v ->
+            fail
+              "E18: exact assignment rescued no chip hybrid BISM missed \
+               (sat_rescues = %s)"
+              (J.to_string v)
+        | None -> fail "E18: no sat_rescues in headline"
+      end)
     experiments;
   if !checked = 0 then
     fail "%s: no experiment published an identical flag (run PAR/SERVICE/BITSLICE)" path;
