@@ -1209,8 +1209,133 @@ let e_loadgen () =
     !jobs batch_ms identical;
   (* determinism is the serving contract; telemetry must not bend it *)
   assert identical;
+  (* --jobs sweep: replay the mix through the serve path at each
+     concurrency level and two offered loads (the mix once, and the mix
+     4x — a hot key distribution).  Level 1 is the historical
+     synchronous run_line loop; levels >= 2 go through the pipelined
+     Stream (pooled engine + response memo), each level on its own
+     sharded cache.  Warm envelopes must stay byte-identical to the
+     level-1 baseline at every level. *)
+  let levels = [ 1; 2; 4; 8 ] in
+  let loads = [ ("light", 1); ("hot", 4) ] in
+  let repeat k xs = List.concat (List.init k (fun _ -> xs)) in
+  let sweep_level level =
+    Nxc_par.Pool.with_jobs level @@ fun pool ->
+    let cache = Svc.Cache.create ~shards:level () in
+    let stream =
+      if level = 1 then None
+      else Some (Svc.Engine.Stream.create ?pool ~cache ())
+    in
+    let run_pass ?hdr load_lines =
+      (* returns (outcomes, total ms); per-line enqueue-to-answer
+         latency goes to [hdr] when given *)
+      let observe = function
+        | None -> fun _ -> ()
+        | Some h -> fun ns -> Obs.Metrics.hdr_observe h ns
+      in
+      let obs = observe hdr in
+      let t_start = Obs.Clock.now_ns () in
+      let outs =
+        match stream with
+        | None ->
+            List.map
+              (fun line ->
+                let t0 = Obs.Clock.now_ns () in
+                let o = Svc.Engine.run_line ~cache line in
+                obs (Obs.Clock.now_ns () - t0);
+                o)
+              load_lines
+        | Some stream ->
+            let t_enq = Array.make (List.length load_lines) 0 in
+            let next = ref 0 in
+            let acc = ref [] in
+            let consume os =
+              List.iter
+                (fun o ->
+                  obs (Obs.Clock.now_ns () - t_enq.(!next));
+                  incr next;
+                  acc := o :: !acc)
+                os
+            in
+            List.iteri
+              (fun i line ->
+                t_enq.(i) <- Obs.Clock.now_ns ();
+                consume (Svc.Engine.Stream.push stream line))
+              load_lines;
+            consume (Svc.Engine.Stream.flush stream);
+            List.rev !acc
+      in
+      (outs, Obs.Clock.ns_to_ms (Obs.Clock.now_ns () - t_start))
+    in
+    (* cold fill (unmeasured), then one measured pass per offered load *)
+    ignore (run_pass lines : Svc.Engine.outcome list * float);
+    List.map
+      (fun (load_name, k) ->
+        let hdr =
+          Obs.Metrics.hdr
+            (Printf.sprintf "loadgen.latency.jobs%d.%s" level load_name)
+        in
+        let load_lines = repeat k lines in
+        let outs, ms = run_pass ~hdr load_lines in
+        (load_name, load_lines, outs, ms, hdr))
+      loads
+  in
+  let results = List.map (fun level -> (level, sweep_level level)) levels in
+  let find_pass level load_name =
+    let passes = List.assoc level results in
+    let (_, load_lines, outs, ms, hdr) =
+      List.find (fun (n, _, _, _, _) -> n = load_name) passes
+    in
+    (load_lines, outs, ms, hdr)
+  in
+  let identical_across_jobs =
+    List.for_all
+      (fun (load_name, _) ->
+        let _, base_outs, _, _ = find_pass 1 load_name in
+        List.for_all
+          (fun level ->
+            let _, outs, _, _ = find_pass level load_name in
+            List.for_all2 (fun a b -> env a = env b) base_outs outs)
+          levels)
+      loads
+  in
+  Format.printf
+    "@.--jobs sweep (light = mix once, hot = mix 4x; level 1 = \
+     synchronous serve loop, >= 2 = pipelined stream):@.";
+  Format.printf "%-6s %-6s %6s %10s %11s %10s %10s %10s@." "jobs" "load"
+    "n" "total ms" "jobs/s" "p50 ms" "p95 ms" "p99 ms";
+  let sweep_fields =
+    List.concat_map
+      (fun level ->
+        List.concat_map
+          (fun (load_name, _) ->
+            let load_lines, _, ms, hdr = find_pass level load_name in
+            let n = List.length load_lines in
+            let jps = float_of_int n /. (ms /. 1000.0) in
+            Format.printf "%-6d %-6s %6d %10.1f %11.0f %10.3f %10.3f %10.3f@."
+              level load_name n ms jps (q hdr 0.50) (q hdr 0.95) (q hdr 0.99);
+            let field f = Printf.sprintf "%s_%s_jobs%d" load_name f level in
+            [ (field "jobs_per_s", J.Float jps);
+              (field "p50_ms", J.Float (q hdr 0.50));
+              (field "p95_ms", J.Float (q hdr 0.95));
+              (field "p99_ms", J.Float (q hdr 0.99)) ])
+          loads)
+      levels
+  in
+  let speedup =
+    let _, _, ms1, _ = find_pass 1 "hot" in
+    let _, _, ms4, _ = find_pass 4 "hot" in
+    ms1 /. ms4
+  in
+  Format.printf
+    "warm hot-load throughput at --jobs 4 vs --jobs 1: %.1fx; envelopes \
+     identical across levels: %b@."
+    speedup identical_across_jobs;
+  assert identical_across_jobs;
   [ ("jobs", J.Int n_jobs);
     ("identical", J.Bool identical);
+    ("identical_across_jobs", J.Bool identical_across_jobs);
+    ("warm_speedup_jobs4", J.Float speedup);
     ("cold_ms", J.Float cold_ms);
     ("warm_ms", J.Float warm_ms);
     ("batch_ms", J.Float batch_ms);
@@ -1222,6 +1347,7 @@ let e_loadgen () =
     ("warm_p50_ms", J.Float (q lat_warm 0.50));
     ("warm_p95_ms", J.Float (q lat_warm 0.95));
     ("warm_p99_ms", J.Float (q lat_warm 0.99)) ]
+  @ sweep_fields
 
 (* ------------------------------------------------------------------ *)
 (* BITSLICE: word-parallel lattice kernel vs scalar BFS                *)

@@ -602,8 +602,15 @@ let cache_arg =
     & opt ~vopt:(Some Svc.Cache.default_path) (some string) None
     & info [ "cache" ] ~docv:"FILE" ~doc)
 
-let with_disk_cache path f =
-  let cache = Svc.Cache.create () in
+(* one cache shard per runner slot, so parallel cache traffic contends
+   on different locks; a sequential run keeps the historical single
+   shard (and its exact metric surface) *)
+let shards_of_pool = function
+  | Some p -> Nxc_par.Pool.slots p
+  | None -> 1
+
+let with_disk_cache ?shards path f =
+  let cache = Svc.Cache.create ?shards () in
   (match path with
   | None -> ()
   | Some p -> (
@@ -642,8 +649,8 @@ let batch_cmd =
     in
     let outcomes =
       Nxc_par.Pool.with_jobs jobs @@ fun pool ->
-      with_disk_cache cache_path @@ fun cache ->
-      Svc.Engine.run_lines ?pool ~cache lines
+      with_disk_cache ~shards:(shards_of_pool pool) cache_path
+      @@ fun cache -> Svc.Engine.run_lines ?pool ~cache lines
     in
     let oc, close =
       match output with
@@ -687,38 +694,106 @@ let batch_cmd =
     Term.(const run $ common_term $ path $ cache_arg $ output)
 
 let serve_cmd =
-  let run _jobs cache_path =
-    with_disk_cache cache_path @@ fun cache ->
-    let rec loop () =
-      match input_line stdin with
-      | exception End_of_file -> ()
-      | "" -> loop ()
-      | "__stats__" ->
-          (* control line: one-line metrics snapshot (with quantiles),
-             never a job envelope, so clients can poll between jobs *)
-          print_string (Obs.Json.to_string (Obs.Metrics.dump_json ()));
-          print_newline ();
-          flush stdout;
-          loop ()
-      | line ->
-          let o = Svc.Engine.run_line ~cache line in
-          print_string (Obs.Json.to_string o.Svc.Engine.envelope);
-          print_newline ();
-          flush stdout;
-          if o.Svc.Engine.exit_code <> 0 then
-            Obs.Log.dump_flight
-              ~reason:
-                (Printf.sprintf "serve envelope exit %d" o.Svc.Engine.exit_code);
-          loop ()
-    in
-    loop ()
+  let run jobs cache_path window deadline_ms =
+    Nxc_par.Pool.with_jobs jobs @@ fun pool ->
+    with_disk_cache ~shards:(shards_of_pool pool) cache_path @@ fun cache ->
+    (* the historical synchronous loop stays the --jobs 1 path;
+       streaming (windowed read-ahead + admission) engages as soon as
+       any of the concurrency flags is given *)
+    if jobs = 1 && window = None && deadline_ms = None then
+      let rec loop () =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | "" -> loop ()
+        | "__stats__" ->
+            (* control line: one-line metrics snapshot (with quantiles),
+               never a job envelope, so clients can poll between jobs *)
+            print_string (Obs.Json.to_string (Obs.Metrics.dump_json ()));
+            print_newline ();
+            flush stdout;
+            loop ()
+        | line ->
+            let o = Svc.Engine.run_line ~cache line in
+            print_string (Obs.Json.to_string o.Svc.Engine.envelope);
+            print_newline ();
+            flush stdout;
+            if o.Svc.Engine.exit_code <> 0 then
+              Obs.Log.dump_flight
+                ~reason:
+                  (Printf.sprintf "serve envelope exit %d"
+                     o.Svc.Engine.exit_code);
+            loop ()
+      in
+      loop ()
+    else begin
+      let stream =
+        Svc.Engine.Stream.create ?pool ~cache ?window ?deadline_ms ()
+      in
+      let emit outs =
+        List.iter
+          (fun o ->
+            print_string (Obs.Json.to_string o.Svc.Engine.envelope);
+            print_newline ();
+            if o.Svc.Engine.exit_code <> 0 then
+              Obs.Log.dump_flight
+                ~reason:
+                  (Printf.sprintf "serve envelope exit %d"
+                     o.Svc.Engine.exit_code))
+          outs;
+        if outs <> [] then flush stdout
+      in
+      let rec loop () =
+        match input_line stdin with
+        | exception End_of_file -> emit (Svc.Engine.Stream.flush stream)
+        | "" -> loop ()
+        | "__flush__" ->
+            (* control line: drain the window without waiting for it to
+               fill (clients that need an answer now) *)
+            emit (Svc.Engine.Stream.flush stream);
+            loop ()
+        | "__stats__" ->
+            (* pending jobs resolve first, so the snapshot reflects
+               everything read so far *)
+            emit (Svc.Engine.Stream.flush stream);
+            print_string (Obs.Json.to_string (Obs.Metrics.dump_json ()));
+            print_newline ();
+            flush stdout;
+            loop ()
+        | line ->
+            emit (Svc.Engine.Stream.push stream line);
+            loop ()
+      in
+      loop ()
+    end
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Stream up to $(docv) jobs in flight before resolving a \
+             batch (default: 4 per runner slot).  Implies the \
+             pipelined serve loop even at --jobs 1.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "job-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Admission control: reject a job up-front (error envelope, \
+             exit code 4, label \"admission\") when the queue ahead of \
+             it is not expected to drain within $(docv) milliseconds.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "long-lived worker: read one JSON job spec per stdin line, \
-          answer with one result envelope per stdout line")
-    Term.(const run $ common_term $ cache_arg)
+          answer with one result envelope per stdout line (--jobs N \
+          pipelines a bounded window of jobs through the pool; \
+          __stats__ and __flush__ are control lines)")
+    Term.(const run $ common_term $ cache_arg $ window_arg $ deadline_arg)
 
 let () =
   (* NANOXCOMP_VERBOSE=debug|info enables library tracing *)

@@ -78,6 +78,11 @@ val is_limited : t -> bool
 (** [true] when the budget has a step cap or a deadline, i.e. when
     partitioning it is worth the bother. *)
 
+val remaining : t -> int option
+(** Steps left before the cap trips: [None] when the budget has no step
+    cap, [Some 0] once exhausted.  Admission controllers use this to
+    reject work up-front instead of letting it trip mid-flight. *)
+
 val partition : t -> int -> t array
 (** [partition t n] is [n] fresh slices of [t]'s remaining allowance:
     each gets an equal share of the remaining steps, the same absolute

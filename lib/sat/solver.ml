@@ -8,6 +8,11 @@ let m_decisions = Obs.Metrics.counter "sat.decisions"
 let m_learned = Obs.Metrics.counter "sat.learned_clauses"
 let m_restarts = Obs.Metrics.counter "sat.restarts"
 let m_unknown = Obs.Metrics.counter "sat.budget_exhausted"
+
+(* learnt-database size sampled at every restart: provenance data for a
+   future clause-deletion policy (no deletion happens yet, so the gauge
+   is monotone within one solve and the last restart's sample wins) *)
+let g_learnt_db = Obs.Metrics.gauge "sat.learnt_db_size"
 let h_solve_us = Obs.Metrics.hdr "sat.latency.solve"
 
 (* Internal literal encoding: variable [v] (1-based externally) is the
@@ -465,6 +470,7 @@ let search s assumptions =
         if !conflict_c >= !limit then begin
           (* Luby restart: back to level 0, assumptions re-placed below *)
           s.s_restarts <- s.s_restarts + 1;
+          Obs.Metrics.set g_learnt_db (float_of_int s.n_learnt);
           incr round;
           conflict_c := 0;
           limit := restart_base * luby !round;

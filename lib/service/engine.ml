@@ -394,6 +394,14 @@ let resolve_sequential cache (job : Job.t) keyed =
           render_or_error ?id ~kind keyed value ~cached:false
       | Error e -> error_envelope ?id ~kind e)
 
+(* resolution of one job after the sequential cache pass: either its
+   error is already decided, or a cache value awaits rendering *)
+type rstate =
+  | RErr of Job.t option * Error.t
+  | RVal of Job.t * keyed * J.t * bool  (** cached? *)
+
+type resolved = { r_prep_ns : int; r_state : rstate }
+
 let run_tagged ?pool ?cache tags =
   let cache = match cache with Some c -> c | None -> Cache.create () in
   Nxc_obs.Span.with_ ~name:"service.batch" @@ fun () ->
@@ -425,7 +433,7 @@ let run_tagged ?pool ?cache tags =
             timed m_lat_compute k.compute))
       leaders
   in
-  (* final pass, on the calling domain, in job order: all cache reads
+  (* cache pass, on the calling domain, in job order: all cache reads
      and writes happen here, so hit/miss assignment is deterministic *)
   let remaining = ref computed in
   let next () =
@@ -435,30 +443,75 @@ let run_tagged ?pool ?cache tags =
         r
     | [] -> assert false
   in
+  let resolved =
+    List.map
+      (fun { prep_ns; tag } ->
+        let t0 = Nxc_obs.Clock.now_ns () in
+        let st =
+          match tag with
+          | TBad (job, e) -> RErr (job, e)
+          | TLead (job, k) -> (
+              ignore (Cache.find cache k.key : J.t option) (* counts the miss *);
+              match next () with
+              | Ok value ->
+                  Cache.add cache k.key value;
+                  RVal (job, k, value, false)
+              | Error e -> RErr (Some job, e))
+          | TFollow (job, k) -> (
+              match Cache.find cache k.key with
+              | Some value -> RVal (job, k, value, true)
+              | None -> (
+                  (* its leader failed to populate the key: compute here
+                     on the calling domain, like the serve loop would *)
+                  match
+                    Nxc_obs.Span.with_ ~name:"service.compute"
+                      ~attrs:(fun () -> [ ("kind", J.Str (Job.kind job)) ])
+                      (fun () -> timed m_lat_compute k.compute)
+                  with
+                  | Ok value ->
+                      Cache.add cache k.key value;
+                      RVal (job, k, value, false)
+                  | Error e -> RErr (Some job, e)))
+        in
+        { r_prep_ns = prep_ns + (Nxc_obs.Clock.now_ns () - t0); r_state = st })
+      tags
+  in
+  (* render pass, pooled: rendering is a pure function of the cache
+     value and the request's own transform (it re-verifies covers), so
+     followers render in parallel without touching the envelope *)
+  let rendered =
+    Nxc_par.Pool.map ?pool
+      (fun r ->
+        match r.r_state with
+        | RErr _ -> (r, None, 0)
+        | RVal (_, k, value, _) ->
+            let t0 = Nxc_obs.Clock.now_ns () in
+            let res = timed m_lat_render (fun () -> k.render value) in
+            (r, Some res, Nxc_obs.Clock.now_ns () - t0))
+      resolved
+  in
+  (* envelope pass, on the calling domain, in job order: counters and
+     log events fire in output order *)
   List.map
-    (fun { prep_ns; tag } ->
+    (fun (r, res, render_ns) ->
       let t0 = Nxc_obs.Clock.now_ns () in
       let out =
-        match tag with
-        | TBad (job, e) ->
+        match (r.r_state, res) with
+        | RErr (job, e), _ ->
             error_envelope
               ?id:(Option.bind job (fun j -> j.Job.id))
               ?kind:(Option.map Job.kind job)
               e
-        | TLead (job, k) -> (
-            let id = job.Job.id and kind = Job.kind job in
-            ignore (Cache.find cache k.key : J.t option) (* counts the miss *);
-            match next () with
-            | Ok value ->
-                Cache.add cache k.key value;
-                render_or_error ?id ~kind k value ~cached:false
-            | Error e -> error_envelope ?id ~kind e)
-        | TFollow (job, k) -> resolve_sequential cache job k
+        | RVal (job, _, _, cached), Some (Ok rendered) ->
+            ok_envelope ?id:job.Job.id ~kind:(Job.kind job) rendered ~cached
+        | RVal (job, _, _, _), Some (Error e) ->
+            error_envelope ?id:job.Job.id ~kind:(Job.kind job) e
+        | RVal _, None -> assert false
       in
       Nxc_obs.Metrics.hdr_observe m_lat_job
-        (prep_ns + (Nxc_obs.Clock.now_ns () - t0));
+        (r.r_prep_ns + render_ns + (Nxc_obs.Clock.now_ns () - t0));
       out)
-    tags
+    rendered
 
 let tag_job job =
   let t0 = Nxc_obs.Clock.now_ns () in
@@ -471,7 +524,10 @@ let tag_job job =
   Nxc_obs.Metrics.hdr_observe m_lat_key dt;
   { prep_ns = dt; tag }
 
-let run_jobs ?pool ?cache jobs = run_tagged ?pool ?cache (List.map tag_job jobs)
+(* planning (parse + NPN keying) is pure, so it runs on the pool too;
+   Pool.map keeps results, metric merges and exceptions in job order *)
+let run_jobs ?pool ?cache jobs =
+  run_tagged ?pool ?cache (Nxc_par.Pool.map ?pool tag_job jobs)
 
 let tag_line line =
   let t0 = Nxc_obs.Clock.now_ns () in
@@ -487,7 +543,7 @@ let tag_line line =
       { t with prep_ns = t.prep_ns + dt }
 
 let run_lines ?pool ?cache lines =
-  run_tagged ?pool ?cache (List.map tag_line lines)
+  run_tagged ?pool ?cache (Nxc_par.Pool.map ?pool tag_line lines)
 
 let run_line ?cache line =
   let cache = match cache with Some c -> c | None -> Cache.create () in
@@ -507,3 +563,204 @@ let batch_exit outcomes =
   match List.find_opt (fun o -> o.exit_code <> 0) outcomes with
   | Some o -> o.exit_code
   | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* pipelined streaming: bounded window, response memo, admission       *)
+(* ------------------------------------------------------------------ *)
+
+let m_adm_admitted = Nxc_obs.Metrics.counter "service.admission.admitted"
+let m_adm_rejected = Nxc_obs.Metrics.counter "service.admission.rejected"
+let m_memo_hits = Nxc_obs.Metrics.counter "service.stream.memo_hits"
+let m_memo_misses = Nxc_obs.Metrics.counter "service.stream.memo_misses"
+let m_windows = Nxc_obs.Metrics.counter "service.stream.windows"
+let m_lat_stream = Nxc_obs.Metrics.hdr "service.latency.stream"
+
+module Stream = struct
+  (* envelopes are deterministic functions of the request line, so a
+     line-level response memo is sound: a repeat of a line the stream
+     already answered is served without planning, keying or rendering *)
+  type memo_entry = {
+    mutable env : J.t;
+    mutable exit_c : int;
+    mutable stamp : int;
+  }
+
+  type entry =
+    | Queued of { line : string; t_enq : int }
+    | Ready of { outcome : outcome; t_enq : int }
+
+  type t = {
+    pool : Nxc_par.Pool.t option;
+    cache : Cache.t;
+    mutable window : int;
+    deadline_ms : float option;
+    memo : (string, memo_entry) Hashtbl.t;
+    memo_cap : int;
+    mutable memo_tick : int;
+    mutable rev_pending : entry list;
+    mutable queued : int;  (* Queued entries in rev_pending *)
+    mutable ewma_ns : float;  (* smoothed per-job service time *)
+  }
+
+  let create ?pool ?cache ?window ?deadline_ms ?(memo_capacity = 1024) () =
+    if memo_capacity <= 0 then
+      invalid_arg "Nxc_service.Engine.Stream.create: memo_capacity <= 0";
+    let cache = match cache with Some c -> c | None -> Cache.create () in
+    let slots =
+      match pool with Some p -> Nxc_par.Pool.slots p | None -> 1
+    in
+    let window =
+      match window with Some w -> max 1 w | None -> 4 * slots
+    in
+    { pool;
+      cache;
+      window;
+      deadline_ms;
+      memo = Hashtbl.create 64;
+      memo_cap = memo_capacity;
+      memo_tick = 0;
+      rev_pending = [];
+      queued = 0;
+      ewma_ns = 0.0 }
+
+  let window t = t.window
+  let pending t = List.length t.rev_pending
+
+  let memo_find t line =
+    match Hashtbl.find_opt t.memo line with
+    | Some e ->
+        t.memo_tick <- t.memo_tick + 1;
+        e.stamp <- t.memo_tick;
+        Some (e.env, e.exit_c)
+    | None -> None
+
+  let memo_add t line env exit_c =
+    match Hashtbl.find_opt t.memo line with
+    | Some e ->
+        t.memo_tick <- t.memo_tick + 1;
+        e.stamp <- t.memo_tick;
+        e.env <- env;
+        e.exit_c <- exit_c
+    | None ->
+        if Hashtbl.length t.memo >= t.memo_cap then begin
+          let victim = ref None in
+          Hashtbl.iter
+            (fun k e ->
+              match !victim with
+              | Some (_, s) when s <= e.stamp -> ()
+              | _ -> victim := Some (k, e.stamp))
+            t.memo;
+          match !victim with
+          | Some (k, _) -> Hashtbl.remove t.memo k
+          | None -> ()
+        end;
+        t.memo_tick <- t.memo_tick + 1;
+        Hashtbl.add t.memo line { env; exit_c; stamp = t.memo_tick }
+
+  let flush t =
+    match List.rev t.rev_pending with
+    | [] -> []
+    | entries ->
+        Nxc_obs.Metrics.incr m_windows;
+        t.rev_pending <- [];
+        t.queued <- 0;
+        let t_start = Nxc_obs.Clock.now_ns () in
+        (* resolve each slot: already-decided outcome, memo hit, or a
+           miss left for the pooled engine batch *)
+        let slots =
+          List.map
+            (function
+              | Ready { outcome; t_enq } -> (Some outcome, t_enq, None)
+              | Queued { line; t_enq } -> (
+                  match memo_find t line with
+                  | Some (env, exit_c) ->
+                      Nxc_obs.Metrics.incr m_memo_hits;
+                      Nxc_obs.Metrics.incr m_jobs;
+                      if exit_c <> 0 then Nxc_obs.Metrics.incr m_errors;
+                      ( Some { envelope = env; exit_code = exit_c; cached = true },
+                        t_enq,
+                        None )
+                  | None ->
+                      Nxc_obs.Metrics.incr m_memo_misses;
+                      (None, t_enq, Some line)))
+            entries
+        in
+        let miss_lines = List.filter_map (fun (_, _, l) -> l) slots in
+        let miss_outs = run_lines ?pool:t.pool ~cache:t.cache miss_lines in
+        List.iter2
+          (fun line out -> memo_add t line out.envelope out.exit_code)
+          miss_lines miss_outs;
+        let t_done = Nxc_obs.Clock.now_ns () in
+        if miss_lines <> [] then begin
+          let per =
+            float_of_int (t_done - t_start)
+            /. float_of_int (List.length miss_lines)
+          in
+          t.ewma_ns <-
+            (if t.ewma_ns = 0.0 then per
+             else (0.8 *. t.ewma_ns) +. (0.2 *. per))
+        end;
+        let remaining = ref miss_outs in
+        List.map
+          (fun (ready, t_enq, _) ->
+            let out =
+              match ready with
+              | Some o -> o
+              | None -> (
+                  match !remaining with
+                  | o :: rest ->
+                      remaining := rest;
+                      o
+                  | [] -> assert false)
+            in
+            Nxc_obs.Metrics.hdr_observe m_lat_stream (t_done - t_enq);
+            out)
+          slots
+
+  let push t line =
+    let now = Nxc_obs.Clock.now_ns () in
+    let reject e =
+      let id, kind =
+        match Job.of_line line with
+        | Ok j -> (j.Job.id, Some (Job.kind j))
+        | Error _ -> (None, None)
+      in
+      Nxc_obs.Metrics.incr m_adm_rejected;
+      Ready { outcome = error_envelope ?id ?kind e; t_enq = now }
+    in
+    let entry =
+      match t.deadline_ms with
+      | Some deadline
+        when t.ewma_ns *. float_of_int t.queued >= deadline *. 1e6 ->
+          (* the queue ahead cannot drain before the deadline: reject
+             up-front with the budget-exhaustion contract (exit 4) *)
+          reject
+            (`Budget_exhausted
+               { Error.label = "admission";
+                 steps = t.queued;
+                 elapsed_ns =
+                   int_of_float (t.ewma_ns *. float_of_int t.queued) })
+      | _ ->
+          Nxc_obs.Metrics.incr m_adm_admitted;
+          (* backpressure: every admitted job charges the ambient
+             budget one step, so a budget-bounded serve run winds down
+             instead of queueing unboundedly *)
+          let b = Budget.current () in
+          if Budget.step b then Queued { line; t_enq = now }
+          else begin
+            match Budget.policy b with
+            | Budget.Fail -> reject (Budget.error b)
+            | Budget.Degrade ->
+                Budget.degrade "stream";
+                t.window <- 1;
+                Queued { line; t_enq = now }
+          end
+    in
+    (match entry with
+    | Queued _ -> t.queued <- t.queued + 1
+    | Ready _ -> ());
+    t.rev_pending <- entry :: t.rev_pending;
+    (* flush when the window fills — or when nothing is actually queued
+       (pure rejections), so a rejected job is answered immediately *)
+    if t.queued >= t.window || t.queued = 0 then flush t else []
+end

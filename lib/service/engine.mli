@@ -34,13 +34,17 @@
 
     {2 Determinism under parallelism}
 
-    [run_jobs] plans sequentially on the calling domain: every job is
-    parsed and keyed in order, the {e first} job of each key group (not
-    already cached) becomes the group's single computing leader, and
-    only leaders are dispatched to the pool.  Cache reads and writes
-    all happen on the calling domain, so which job computes and which
-    job hits is a function of the job list and the cache contents —
-    never of scheduling. *)
+    [run_jobs] runs four passes.  Planning (parse + NPN keying, pure)
+    runs on the pool in job order; leader marking is sequential: the
+    {e first} job of each key group (not already cached) becomes the
+    group's single computing leader, and leaders' computes are
+    dispatched to the pool.  The cache pass then runs on the calling
+    domain in job order — every read and write happens there, so which
+    job computes and which job hits is a function of the job list and
+    the cache contents, never of scheduling.  Finally rendering (a pure
+    function of the cache value and the request's own NPN transform,
+    including the hit-path re-verification) runs on the pool, and
+    envelopes are emitted sequentially in job order. *)
 
 type outcome = {
   envelope : Nxc_obs.Json.t;  (** the result line *)
@@ -65,3 +69,59 @@ val run_line : ?cache:Cache.t -> string -> outcome
 val batch_exit : outcome list -> int
 (** The batch's process exit code: [0] when every job's ["exit"] is
     [0], otherwise the first non-zero one in job order. *)
+
+(** Pipelined streaming for the [serve] loop: jobs are read ahead of
+    completion into a bounded in-flight window and resolved window-wise
+    through {!run_lines} on the pool, with outcomes returned strictly
+    in input order.
+
+    {b Response memo.}  Envelopes are deterministic functions of the
+    request line, so the stream keeps a line-level LRU memo of recent
+    responses: an exact repeat is answered without planning, keying or
+    rendering ([service.stream.memo_hits] / [memo_misses]); it still
+    counts under [service.jobs].
+
+    {b Deadline admission.}  With [?deadline_ms] set, each pushed job
+    is admitted only if the queue ahead of it is expected to drain in
+    time ([EWMA job time × queue depth < deadline]).  A rejected job
+    receives a normal error envelope with the budget-exhaustion
+    contract (["exit": 4], label ["admission"]), emitted in input
+    order; rejections count under [service.admission.rejected].
+    [--job-deadline-ms 0] therefore deterministically rejects every
+    job.
+
+    {b Backpressure.}  Every admitted job charges the ambient
+    {!Nxc_guard.Budget} one step.  On exhaustion a [Fail]-policy budget
+    rejects the job with its own budget error; a [Degrade]-policy
+    budget records [guard.degrade.stream] and shrinks the window to 1
+    (fully synchronous, no read-ahead). *)
+module Stream : sig
+  type t
+
+  val create :
+    ?pool:Nxc_par.Pool.t ->
+    ?cache:Cache.t ->
+    ?window:int ->
+    ?deadline_ms:float ->
+    ?memo_capacity:int ->
+    unit ->
+    t
+  (** [window] defaults to [4 × slots] of [pool] (4 without a pool) and
+      is clamped to [>= 1]; [memo_capacity] (default 1024) bounds the
+      response memo.  Without [?deadline_ms] every job is admitted. *)
+
+  val window : t -> int
+
+  val pending : t -> int
+  (** Entries buffered and not yet flushed (admitted + rejected). *)
+
+  val push : t -> string -> outcome list
+  (** Enqueue one request line.  Returns [[]] while the window fills,
+      or everything pending (in input order) when pushing this line
+      filled the window — or when nothing is queued at all (a rejected
+      job with an empty queue is answered immediately). *)
+
+  val flush : t -> outcome list
+  (** Resolve and return everything pending (in input order) — the
+      end-of-input drain, also used before serving [__stats__]. *)
+end

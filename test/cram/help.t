@@ -35,7 +35,9 @@ README.md (CLI contract section) in the same commit.
   
          serve [OPTION]…
              long-lived worker: read one JSON job spec per stdin line, answer
-             with one result envelope per stdout line
+             with one result envelope per stdout line (--jobs N pipelines a
+             bounded window of jobs through the pool; __stats__ and __flush__
+             are control lines)
   
          stats [OPTION]… EXPR
              run the end-to-end flow once and print the pipeline metrics

@@ -31,11 +31,16 @@ part of the key.
 the same dump carry wall-clock quantiles, which can never be stable)
 
   $ nanoxcomp batch jobs.jsonl --metrics -o /dev/null | grep 'counter   service\.'
+  counter   service.admission.admitted       0
+  counter   service.admission.rejected       0
   counter   service.cache.evictions          0
   counter   service.cache.hits               1
   counter   service.cache.misses             4
   counter   service.errors                   0
   counter   service.jobs                     5
+  counter   service.stream.memo_hits         0
+  counter   service.stream.memo_misses       0
+  counter   service.stream.windows           0
 
 Persistence: --cache [FILE] loads the store before the batch and saves
 it after, so a second process starts warm — every job hits, and the
@@ -63,9 +68,39 @@ output, and sets the process exit code to its invalid-input code:
 Serve mode is the same engine as a line-oriented worker: one request
 line in, one envelope line out, errors reported in-band.
 
-  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '{"kind":"bist","rows":0,"cols":1}' | nanoxcomp serve
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '{"kind":"bist","rows":0,"cols":1}' | nanoxcomp serve | tee sync.out
   {"id":"q","kind":"synth","status":"ok","exit":0,"result":{"n":2,"products":1,"dual_products":2,"distinct_literals":2,"cover":"x1x2","diode":{"rows":1,"cols":3},"fet":{"rows":2,"cols":3},"lattice":{"rows":2,"cols":1},"degraded":false,"verified":true}}
   {"id":null,"kind":null,"status":"error","exit":3,"error":"invalid input: job spec: \"rows\" must be positive"}
+
+--jobs N switches serve to the pipelined loop: a bounded in-flight
+window streams through the pool and the NPN cache is sharded per
+runner slot, but envelopes arrive in input order with the exact same
+bytes:
+
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '{"kind":"bist","rows":0,"cols":1}' | nanoxcomp serve --jobs 2 | cmp sync.out -
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '{"kind":"bist","rows":0,"cols":1}' | nanoxcomp serve --window 1 | cmp sync.out -
+
+--job-deadline-ms bounds admission: when the queue ahead of a job is
+not expected to drain in time it is rejected up-front with the
+budget-exhaustion envelope contract (exit 4, label "admission") and
+counted under service.admission.*.  A 0ms deadline rejects everything,
+deterministically:
+
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' | nanoxcomp serve --job-deadline-ms 0 --metrics | grep -E '"exit"|service\.admission'
+  {"id":"q","kind":"synth","status":"error","exit":4,"error":"budget exhausted: admission stopped after 0 steps (0.0ms)"}
+  counter   service.admission.admitted       0
+  counter   service.admission.rejected       1
+
+An exact repeat of an already-answered line is served from the
+stream's response memo — same bytes, no recompute.  (The repeat has to
+sit in a later window: within one window duplicates are deduplicated
+by the NPN cache, not the memo.)
+
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '__flush__' '{"id":"q","kind":"synth","expr":"x1x2"}' '__flush__' | nanoxcomp serve --jobs 2 --metrics | grep -E '^\{|memo'
+  {"id":"q","kind":"synth","status":"ok","exit":0,"result":{"n":2,"products":1,"dual_products":2,"distinct_literals":2,"cover":"x1x2","diode":{"rows":1,"cols":3},"fet":{"rows":2,"cols":3},"lattice":{"rows":2,"cols":1},"degraded":false,"verified":true}}
+  {"id":"q","kind":"synth","status":"ok","exit":0,"result":{"n":2,"products":1,"dual_products":2,"distinct_literals":2,"cover":"x1x2","diode":{"rows":1,"cols":3},"fet":{"rows":2,"cols":3},"lattice":{"rows":2,"cols":1},"degraded":false,"verified":true}}
+  counter   service.stream.memo_hits         1
+  counter   service.stream.memo_misses       1
 
 The stats subcommand's machine-readable snapshot is pinned in full: it
 is the telemetry contract, and it must stay deterministic (no times,
@@ -74,4 +109,4 @@ no rates) for exactly this kind of test.
   $ nanoxcomp stats "x1x2 + x1'x2'" --json
   flow: mapped=true functional=true
   
-  {"counters":{"bira.bnb_nodes":0,"bira.must_repair_cols":0,"bira.must_repair_rows":0,"bira.repaired":0,"bira.runs":0,"bira.spares_used":0,"bira.unrepairable":0,"bism.configurations":1,"bism.remap_attempts":0,"bism.runs":1,"bism.successes":1,"bism.test_applications":4,"bisr.rejected":0,"bisr.remapped_lines":0,"bisr.tables_built":0,"bist.packs":0,"bist.plans":0,"bist.syndromes":0,"bist.vectors":0,"bitslice.kernel_calls":1,"bitslice.word_ops":4,"defect.chips_generated":1,"espresso.expand_iters":0,"espresso.minimize_calls":0,"espresso.rounds":0,"fault_model.block_evals":0,"flow.escalations":0,"flow.functional":1,"flow.infeasible":0,"flow.runs":1,"guard.budget_exhausted":0,"guard.budgets":0,"guard.degradations":0,"guard.errors":0,"isop.calls":0,"isop.recursive_calls":0,"lattice.ar_syntheses":12,"lattice.equiv_checks":1,"minimize.degraded":0,"minimize.sop_calls":26,"montecarlo.trials":0,"npn.canonicalizations":0,"npn.semi":0,"par.batches":0,"par.chunks":0,"par.tasks":0,"qm.bnb_nodes":0,"qm.budget_exhausted":0,"qm.minimize_calls":26,"qm.prime_implicants":36,"sat.assign_calls":0,"sat.assign_degraded":0,"sat.assign_mappable":0,"sat.assign_unmappable":0,"sat.budget_exhausted":0,"sat.conflicts":0,"sat.cover_calls":0,"sat.cover_optimal":0,"sat.cover_partial":0,"sat.decisions":0,"sat.learned_clauses":0,"sat.propagations":0,"sat.restarts":0,"sat.solve_calls":0,"service.cache.evictions":0,"service.cache.hits":0,"service.cache.misses":0,"service.errors":0,"service.jobs":0,"synth.degraded":0,"synth.functions":1,"synth.verifications":0},"gauges":{},"histograms":{"bira.latency.analyze":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"bism.configs_per_run":{"count":1,"sum":1,"min":1,"max":1,"p50":1,"p90":1,"p95":1,"p99":1,"buckets":[{"ge":1,"le":1,"n":1}]},"bisr.latency.build":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"qm.primes_per_call":{"count":26,"sum":36,"min":1,"max":2,"p50":1,"p90":2,"p95":2,"p99":2,"buckets":[{"ge":1,"le":1,"n":16},{"ge":2,"le":3,"n":10}]},"sat.latency.solve":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.compute":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.job":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.key":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.parse":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.render":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.verify":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]}}}
+  {"counters":{"bira.bnb_nodes":0,"bira.must_repair_cols":0,"bira.must_repair_rows":0,"bira.repaired":0,"bira.runs":0,"bira.spares_used":0,"bira.unrepairable":0,"bism.configurations":1,"bism.remap_attempts":0,"bism.runs":1,"bism.successes":1,"bism.test_applications":4,"bisr.rejected":0,"bisr.remapped_lines":0,"bisr.tables_built":0,"bist.packs":0,"bist.plans":0,"bist.syndromes":0,"bist.vectors":0,"bitslice.kernel_calls":1,"bitslice.word_ops":4,"defect.chips_generated":1,"espresso.expand_iters":0,"espresso.minimize_calls":0,"espresso.rounds":0,"fault_model.block_evals":0,"flow.escalations":0,"flow.functional":1,"flow.infeasible":0,"flow.runs":1,"guard.budget_exhausted":0,"guard.budgets":0,"guard.degradations":0,"guard.errors":0,"isop.calls":0,"isop.recursive_calls":0,"lattice.ar_syntheses":12,"lattice.equiv_checks":1,"minimize.degraded":0,"minimize.sop_calls":26,"montecarlo.trials":0,"npn.canonicalizations":0,"npn.semi":0,"par.batches":0,"par.chunks":0,"par.tasks":0,"qm.bnb_nodes":0,"qm.budget_exhausted":0,"qm.minimize_calls":26,"qm.prime_implicants":36,"sat.assign_calls":0,"sat.assign_degraded":0,"sat.assign_mappable":0,"sat.assign_unmappable":0,"sat.budget_exhausted":0,"sat.conflicts":0,"sat.cover_calls":0,"sat.cover_optimal":0,"sat.cover_partial":0,"sat.decisions":0,"sat.learned_clauses":0,"sat.propagations":0,"sat.restarts":0,"sat.solve_calls":0,"service.admission.admitted":0,"service.admission.rejected":0,"service.cache.evictions":0,"service.cache.hits":0,"service.cache.misses":0,"service.errors":0,"service.jobs":0,"service.stream.memo_hits":0,"service.stream.memo_misses":0,"service.stream.windows":0,"synth.degraded":0,"synth.functions":1,"synth.verifications":0},"gauges":{"sat.learnt_db_size":0.0},"histograms":{"bira.latency.analyze":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"bism.configs_per_run":{"count":1,"sum":1,"min":1,"max":1,"p50":1,"p90":1,"p95":1,"p99":1,"buckets":[{"ge":1,"le":1,"n":1}]},"bisr.latency.build":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"qm.primes_per_call":{"count":26,"sum":36,"min":1,"max":2,"p50":1,"p90":2,"p95":2,"p99":2,"buckets":[{"ge":1,"le":1,"n":16},{"ge":2,"le":3,"n":10}]},"sat.latency.solve":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.compute":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.job":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.key":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.parse":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.render":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.stream":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]},"service.latency.verify":{"count":0,"sum":0,"min":0,"max":0,"p50":0,"p90":0,"p95":0,"p99":0,"buckets":[]}}}

@@ -58,6 +58,26 @@ shape, not numbers:
   $ tail -1 serve.out | grep -c '"p99"'
   1
 
+Under --jobs N the NPN cache is sharded (one shard per runner slot)
+and __stats__ grows per-shard counters.  Two distinct synth jobs in
+one window: each computes once on some shard; shard totals must add up
+to the unsharded hit/miss story.  The shard a key routes to is a pure
+function of the key, so these pins are deterministic:
+
+  $ printf '%s\n' '{"id":"q","kind":"synth","expr":"x1x2"}' '{"id":"r","kind":"synth","expr":"x1x2"}' '__stats__' | nanoxcomp serve --jobs 2 > shard.out
+  $ wc -l < shard.out
+  3
+  $ tail -1 shard.out | grep -c '"service.cache.shard0.hits":0'
+  1
+  $ tail -1 shard.out | grep -c '"service.cache.shard1.hits":1'
+  1
+  $ tail -1 shard.out | grep -c '"service.cache.shard1.misses":1'
+  1
+  $ tail -1 shard.out | grep -c '"service.admission.admitted":2'
+  1
+  $ tail -1 shard.out | grep -c '"service.stream.windows":1'
+  1
+
 stats --prom emits the same registry in Prometheus text exposition
 (format 0.0.4): nanoxcomp_-prefixed names, a # TYPE header per
 instrument, cumulative le-buckets for histograms.  The stats

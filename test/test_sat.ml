@@ -157,33 +157,48 @@ let test_incremental_learning () =
   Alcotest.(check bool) "unsat after tightening" true (S.solve s = S.Unsat);
   Alcotest.(check bool) "ok reflects level-0 conflict" false (S.ok s)
 
+(* pigeonhole: holes+1 pigeons into [holes] holes, UNSAT and hard
+   enough to burn conflicts (and restarts) *)
+let php_cnf s holes =
+  let p =
+    Array.init (holes + 1) (fun _ ->
+        Array.init holes (fun _ -> S.new_var s))
+  in
+  for i = 0 to holes do
+    S.add_clause s (Array.to_list p.(i))
+  done;
+  for h = 0 to holes - 1 do
+    for i = 0 to holes do
+      for j = i + 1 to holes do
+        S.add_clause s [ -p.(i).(h); -p.(j).(h) ]
+      done
+    done
+  done
+
 let test_budget_unknown () =
   (* a tiny budget must yield Unknown, never a wrong answer, and the
      solver must stay usable with a fresh budget *)
-  (* pigeonhole: holes+1 pigeons into [holes] holes, UNSAT and hard
-     enough to burn conflicts *)
-  let php_cnf s holes =
-    let p =
-      Array.init (holes + 1) (fun _ ->
-          Array.init holes (fun _ -> S.new_var s))
-    in
-    for i = 0 to holes do
-      S.add_clause s (Array.to_list p.(i))
-    done;
-    for h = 0 to holes - 1 do
-      for i = 0 to holes do
-        for j = i + 1 to holes do
-          S.add_clause s [ -p.(i).(h); -p.(j).(h) ]
-        done
-      done
-    done
-  in
   let s = S.create () in
   php_cnf s 7;
   let tight = G.Budget.create ~steps:50 () in
   Alcotest.(check bool) "tiny budget -> Unknown" true
     (S.solve ~guard:tight s = S.Unknown);
   Alcotest.(check bool) "fresh budget -> Unsat" true (S.solve s = S.Unsat)
+
+let test_learnt_db_gauge () =
+  (* the learnt-database size is sampled into the [sat.learnt_db_size]
+     gauge at every restart — provenance for a future deletion policy *)
+  let s = S.create () in
+  php_cnf s 7;
+  Alcotest.(check bool) "php unsat" true (S.solve s = S.Unsat);
+  let st = S.stats s in
+  Alcotest.(check bool) "solve restarted" true (st.S.restarts > 0);
+  let v =
+    Nxc_obs.Metrics.gauge_value (Nxc_obs.Metrics.gauge "sat.learnt_db_size")
+  in
+  Alcotest.(check bool) "gauge sampled at a restart" true (v > 0.0);
+  Alcotest.(check bool) "gauge bounded by retained learnt clauses" true
+    (v <= float_of_int st.S.learned)
 
 (* ------------------------------------------------------------------ *)
 (* cardinality                                                         *)
@@ -535,7 +550,9 @@ let () =
           Alcotest.test_case "incremental learning" `Quick
             test_incremental_learning;
           Alcotest.test_case "budget -> Unknown, never wrong" `Quick
-            test_budget_unknown ] );
+            test_budget_unknown;
+          Alcotest.test_case "learnt-db gauge at restarts" `Quick
+            test_learnt_db_gauge ] );
       ( "card",
         [ qtest ~count:150 "at_most bound holds" (arb_cnf 2 8) card_at_most;
           Alcotest.test_case "counter one-sided outputs" `Quick

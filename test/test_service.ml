@@ -153,6 +153,144 @@ let test_cache_save_load () =
   | Ok _ -> Alcotest.fail "malformed line accepted");
   Sys.remove path
 
+let test_cache_warm_from_disk_lru () =
+  (* satellite: persistence replay refreshes recency like a hit, so a
+     warmed-from-disk cache evicts in true LRU order *)
+  let path = Filename.temp_file "nxc-cache" ".jsonl" in
+  let c = Svc.Cache.create ~capacity:2 () in
+  Svc.Cache.add c "a" (J.Int 1);
+  Svc.Cache.add c "b" (J.Int 2);
+  (match Svc.Cache.save c path with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "save");
+  let w = Svc.Cache.create ~capacity:2 () in
+  (match Svc.Cache.load w path with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "load");
+  (* replay order is the sorted key order (a then b); finding a makes b
+     the LRU entry, so the next insert must evict b, not a *)
+  ignore (Svc.Cache.find w "a");
+  Svc.Cache.add w "c" (J.Int 3);
+  Alcotest.(check bool) "a survives the warm insert" true
+    (Svc.Cache.peek w "a" <> None);
+  Alcotest.(check bool) "b is the true LRU victim" true
+    (Svc.Cache.peek w "b" = None);
+  (* re-loading over a warm cache refreshes recency too *)
+  (match Svc.Cache.load w path with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "reload");
+  ignore (Svc.Cache.find w "c") (* miss: c was evicted when b returned *);
+  Sys.remove path
+
+(* ---------------- sharded cache laws ------------------------------- *)
+
+(* random op scripts over a small key alphabet *)
+let shard_keys =
+  [| "npn:0xabc+"; "npn:0xdef-"; "job:bist:4x4"; "job:yield:16"; "k4"; "k5";
+     "a-rather-longer-key-6"; "k7" |]
+
+type cache_op = Add of int * int | Find of int | Peek of int
+
+let arb_cache_ops =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (map2
+           (fun tag (k, v) ->
+             let k = k mod Array.length shard_keys in
+             match tag mod 3 with
+             | 0 -> Add (k, v)
+             | 1 -> Find k
+             | _ -> Peek k)
+           (int_bound 2)
+           (pair nat (int_bound 100))))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | Add (k, v) -> Printf.sprintf "add %d %d" k v
+           | Find k -> Printf.sprintf "find %d" k
+           | Peek k -> Printf.sprintf "peek %d" k)
+         ops)
+  in
+  QCheck.make ~print gen
+
+let run_ops cache ops =
+  (* observable trace: per-op result plus running counters *)
+  List.map
+    (fun op ->
+      let r =
+        match op with
+        | Add (k, v) ->
+            Svc.Cache.add cache shard_keys.(k) (J.Int v);
+            None
+        | Find k -> Svc.Cache.find cache shard_keys.(k)
+        | Peek k -> Svc.Cache.peek cache shard_keys.(k)
+      in
+      (r, Svc.Cache.hits cache, Svc.Cache.misses cache))
+    ops
+
+let qcheck_shard_stable =
+  Testutil.qtest ~count:50 "cache: shard routing is stable"
+    (QCheck.int_range 1 8)
+    (fun shards ->
+      let c = Svc.Cache.create ~shards () in
+      let c' = Svc.Cache.create ~shards () in
+      Array.for_all
+        (fun key ->
+          let s = Svc.Cache.shard_of c key in
+          s = Svc.Cache.shard_of c key
+          && s = Svc.Cache.shard_of c' key
+          && s >= 0
+          && s < Svc.Cache.shards c)
+        shard_keys)
+
+let qcheck_shard_equiv =
+  (* below eviction pressure, a sharded cache is observationally equal
+     to the single-shard one: same values, same hit/miss sequence *)
+  Testutil.qtest ~count:100 "cache: sharded = single-shard (no eviction)"
+    (QCheck.pair arb_cache_ops (QCheck.int_range 2 8))
+    (fun (ops, shards) ->
+      let one = Svc.Cache.create ~capacity:1024 () in
+      let many = Svc.Cache.create ~capacity:1024 ~shards () in
+      run_ops one ops = run_ops many ops)
+
+let qcheck_shard_persistence =
+  (* the save file is byte-identical for every shard count, and load
+     round-trips values across shard counts *)
+  Testutil.qtest ~count:60 "cache: persistence across shard counts"
+    (QCheck.triple arb_cache_ops (QCheck.int_range 1 8)
+       (QCheck.int_range 1 8))
+    (fun (ops, s1, s2) ->
+      let save_bytes shards =
+        let c = Svc.Cache.create ~shards () in
+        ignore (run_ops c ops);
+        let path = Filename.temp_file "nxc-shard" ".jsonl" in
+        (match Svc.Cache.save c path with
+        | Ok _ -> ()
+        | Error _ -> QCheck.Test.fail_report "save failed");
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let bytes = really_input_string ic len in
+        close_in ic;
+        (c, path, bytes)
+      in
+      let c1, p1, b1 = save_bytes s1 in
+      let _, p2, b2 = save_bytes s2 in
+      let r = Svc.Cache.create ~shards:s2 () in
+      (match Svc.Cache.load r p1 with
+      | Ok _ -> ()
+      | Error _ -> QCheck.Test.fail_report "load failed");
+      let roundtrips =
+        Array.for_all
+          (fun key -> Svc.Cache.peek r key = Svc.Cache.peek c1 key)
+          shard_keys
+      in
+      Sys.remove p1;
+      Sys.remove p2;
+      String.equal b1 b2 && roundtrips)
+
 (* ---------------- job parsing -------------------------------------- *)
 
 let test_job_parse_ok () =
@@ -294,6 +432,112 @@ let test_engine_determinism () =
   Alcotest.(check int) "bad line exits 3" 3
     (Svc.Engine.batch_exit (Svc.Engine.run_lines lines))
 
+(* ---------------- stream ------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let stream_lines =
+  [ {|{"id":"a","kind":"synth","expr":"x1x2 + x1'x2'"}|};
+    {|{"id":"b","kind":"synth","expr":"x1'x2 + x1x2'"}|};
+    {|{"id":"c","kind":"bist","rows":4,"cols":4}|};
+    {|{"id":"a2","kind":"synth","expr":"x1x2 + x1'x2'"}|} (* repeat class *);
+    "boom";
+    {|{"id":"a","kind":"synth","expr":"x1x2 + x1'x2'"}|} (* exact repeat *) ]
+
+let push_all stream lines =
+  (* explicit sequencing: pushes strictly before the final drain *)
+  let outs = List.concat_map (fun l -> Svc.Engine.Stream.push stream l) lines in
+  outs @ Svc.Engine.Stream.flush stream
+
+let test_stream_determinism () =
+  (* streamed envelopes are byte-identical to the synchronous loop, in
+     input order, for every window size — including memo-hit repeats *)
+  let baseline =
+    let cache = Svc.Cache.create () in
+    envelope_strings
+      (List.map (fun l -> Svc.Engine.run_line ~cache l) stream_lines)
+  in
+  List.iter
+    (fun window ->
+      let stream = Svc.Engine.Stream.create ~window () in
+      let outs = push_all stream stream_lines in
+      Alcotest.(check (list string))
+        (Printf.sprintf "window %d = synchronous loop" window)
+        baseline (envelope_strings outs))
+    [ 1; 2; 3; 17 ];
+  (* and under a pool, sharded like the CLI would *)
+  Nxc_par.Pool.with_jobs 2 (fun pool ->
+      let cache = Svc.Cache.create ~shards:2 () in
+      let stream = Svc.Engine.Stream.create ?pool ~cache () in
+      let outs = push_all stream stream_lines in
+      Alcotest.(check (list string)) "pooled stream = synchronous loop"
+        baseline (envelope_strings outs))
+
+let test_stream_memo () =
+  let stream = Svc.Engine.Stream.create ~window:2 () in
+  let first = push_all stream [ List.hd stream_lines; List.hd stream_lines ] in
+  Alcotest.(check int) "both answered" 2 (List.length first);
+  Alcotest.(check bool) "second is a memo/cache hit" true
+    ((List.nth first 1).Svc.Engine.cached);
+  Alcotest.(check (list string)) "identical bytes"
+    [ List.hd (envelope_strings first) ]
+    [ List.nth (envelope_strings first) 1 ]
+
+let test_stream_admission () =
+  (* a 0ms deadline deterministically rejects everything with the
+     budget-exhaustion contract, immediately (nothing queued) *)
+  let stream = Svc.Engine.Stream.create ~window:8 ~deadline_ms:0.0 () in
+  List.iter
+    (fun line ->
+      match Svc.Engine.Stream.push stream line with
+      | [ o ] ->
+          Alcotest.(check int) "admission rejection exits 4" 4 o.exit_code;
+          let s = J.to_string o.envelope in
+          Alcotest.(check bool) "labelled admission" true
+            (contains s "admission")
+      | outs -> Alcotest.failf "expected 1 rejection, got %d" (List.length outs))
+    stream_lines;
+  Alcotest.(check int) "nothing pending" 0 (Svc.Engine.Stream.pending stream);
+  Alcotest.(check (list string)) "drain is empty" []
+    (envelope_strings (Svc.Engine.Stream.flush stream))
+
+let test_stream_backpressure () =
+  (* Fail-policy ambient budget: each admitted job costs one step; the
+     third push is rejected with the budget's own error *)
+  let b = G.Budget.create ~label:"serve" ~policy:G.Budget.Fail ~steps:2 () in
+  G.Budget.with_current b (fun () ->
+      let stream = Svc.Engine.Stream.create ~window:8 () in
+      (match Svc.Engine.Stream.push stream (List.hd stream_lines) with
+      | [] -> ()
+      | _ -> Alcotest.fail "admitted job answered early");
+      ignore (Svc.Engine.Stream.push stream (List.nth stream_lines 1));
+      (* third admission trips the budget: the rejection is decided now
+         but held behind the two queued jobs to preserve output order *)
+      (match Svc.Engine.Stream.push stream (List.nth stream_lines 2) with
+      | [] -> ()
+      | _ -> Alcotest.fail "rejection jumped the queue");
+      Alcotest.(check int) "three entries pending" 3
+        (Svc.Engine.Stream.pending stream);
+      match Svc.Engine.Stream.flush stream with
+      | [ _; _; o ] ->
+          Alcotest.(check int) "budget rejection exits 4" 4 o.Svc.Engine.exit_code;
+          Alcotest.(check bool) "carries the budget's own label" true
+            (contains (J.to_string o.Svc.Engine.envelope) "serve")
+      | outs -> Alcotest.failf "expected 3 outcomes, got %d" (List.length outs));
+  (* Degrade-policy budget: the window collapses to 1 instead *)
+  let b = G.Budget.create ~label:"serve" ~steps:1 () in
+  G.Budget.with_current b (fun () ->
+      let stream = Svc.Engine.Stream.create ~window:8 () in
+      ignore (Svc.Engine.Stream.push stream (List.hd stream_lines));
+      ignore (Svc.Engine.Stream.push stream (List.nth stream_lines 1));
+      Alcotest.(check int) "window degraded to 1" 1
+        (Svc.Engine.Stream.window stream))
+
 let () =
   Alcotest.run "service"
     [ ( "npn",
@@ -314,11 +558,23 @@ let () =
             cover_roundtrip_prop ] );
       ( "cache",
         [ Alcotest.test_case "lru eviction and counters" `Quick test_cache_lru;
-          Alcotest.test_case "save/load" `Quick test_cache_save_load ] );
+          Alcotest.test_case "save/load" `Quick test_cache_save_load;
+          Alcotest.test_case "warm-from-disk true LRU" `Quick
+            test_cache_warm_from_disk_lru;
+          qcheck_shard_stable;
+          qcheck_shard_equiv;
+          qcheck_shard_persistence ] );
       ( "job",
         [ Alcotest.test_case "valid specs" `Quick test_job_parse_ok;
           Alcotest.test_case "malformed specs" `Quick test_job_parse_bad ] );
       ( "engine",
         [ Alcotest.test_case "npn cache hit" `Quick test_engine_npn_hit;
           qcheck_engine_npn_equiv;
-          Alcotest.test_case "determinism" `Quick test_engine_determinism ] ) ]
+          Alcotest.test_case "determinism" `Quick test_engine_determinism ] );
+      ( "stream",
+        [ Alcotest.test_case "determinism vs synchronous loop" `Quick
+            test_stream_determinism;
+          Alcotest.test_case "response memo" `Quick test_stream_memo;
+          Alcotest.test_case "deadline admission" `Quick test_stream_admission;
+          Alcotest.test_case "budget backpressure" `Quick
+            test_stream_backpressure ] ) ]

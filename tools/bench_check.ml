@@ -15,7 +15,12 @@
      (8 s; the batched BIST kernels hold it around half a second) —
      the coverage/diagnosis sweep may not regress to scalar speed;
    - a LOADGEN experiment must publish a finite, positive [warm_p99_ms]
-     — the SLO quantile pipeline must actually produce numbers;
+     — the SLO quantile pipeline must actually produce numbers — plus a
+     finite positive [hot_p99_ms_jobsN] for every sweep level
+     N in {1,2,4,8}, [identical_across_jobs = true] (the pipelined
+     serve path may not change a single envelope byte) and
+     [warm_speedup_jobs4 >= 4] (the streaming path must beat the
+     synchronous loop at least 4x on warm hot-load traffic);
    - an E17 (repair) experiment must keep [min_margin_vs_blind >= 0] —
      exact BIRA searches the same feasibility space blind BISM samples,
      so repair success may never fall below blind at a matched density
@@ -112,8 +117,8 @@ let () =
                  "E6: coverage sweep regressed to scalar speed (wall_ms = %s \
                   > 8000)"
                  (J.to_string v));
-      (if id = "LOADGEN" then
-         match field "warm_p99_ms" with
+      (if id = "LOADGEN" then begin
+         (match field "warm_p99_ms" with
          | None -> fail "LOADGEN: no warm_p99_ms in headline"
          | Some v ->
              let p99 = num v in
@@ -122,6 +127,38 @@ let () =
              else
                fail "LOADGEN: warm p99 is not a finite positive time (%s)"
                  (J.to_string v));
+         (* the --jobs sweep must publish a finite positive warm (hot
+            load) p99 at every level, stay byte-identical across
+            levels, and beat the synchronous loop >= 4x at --jobs 4 *)
+         List.iter
+           (fun level ->
+             let name = Printf.sprintf "hot_p99_ms_jobs%d" level in
+             match field name with
+             | None -> fail "LOADGEN: no %s in headline" name
+             | Some v ->
+                 let p99 = num v in
+                 if not (Float.is_finite p99 && p99 > 0.0) then
+                   fail "LOADGEN: %s is not a finite positive time (%s)" name
+                     (J.to_string v))
+           [ 1; 2; 4; 8 ];
+         (match field "identical_across_jobs" with
+         | Some (J.Bool true) -> ()
+         | _ ->
+             fail
+               "LOADGEN: envelopes not byte-identical across --jobs levels");
+         match field "warm_speedup_jobs4" with
+         | None -> fail "LOADGEN: no warm_speedup_jobs4 in headline"
+         | Some v ->
+             let s = num v in
+             if Float.is_finite s && s >= 4.0 then
+               Printf.printf
+                 "bench_check: %-9s warm throughput at --jobs 4 %.1fx\n" id s
+             else
+               fail
+                 "LOADGEN: pipelined serve at --jobs 4 below the 4x warm \
+                  throughput floor (warm_speedup_jobs4 = %s)"
+                 (J.to_string v)
+       end);
       (if id = "E17" then begin
          (match field "min_margin_vs_blind" with
          | None -> fail "E17: no min_margin_vs_blind in headline"
